@@ -1,0 +1,67 @@
+"""Benchmark-harness configuration.
+
+Every bench regenerates one of the paper's tables or figures at reduced
+scale (this box has one CPU core; see DESIGN.md).  Set
+``REPRO_BENCH_SCALE=paper`` to run closer to the paper's dimensions
+(100 devices, 100+ rounds — hours on this hardware).
+
+Benches use ``benchmark.pedantic(..., rounds=1, iterations=1)``: a federated
+training run is the measured unit; repeating it would multiply runtime
+without improving the reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs every bench derives its dimensions from."""
+
+    name: str
+    num_devices: int
+    num_samples: int
+    rounds_easy: int  # mnist/emnist-role datasets
+    rounds_hard: int  # cifar-role datasets
+    local_epochs: int
+    seeds: tuple[int, ...]  # replicate seeds for averaged figures
+
+
+SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        num_devices=20,
+        num_samples=1500,
+        rounds_easy=10,
+        rounds_hard=15,
+        local_epochs=1,
+        seeds=(0,),
+    ),
+    "paper": BenchScale(
+        name="paper",
+        num_devices=100,
+        num_samples=6000,
+        rounds_easy=100,
+        rounds_hard=150,
+        local_epochs=5,
+        seeds=(0, 1, 2),
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduction table so it lands in the bench log."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,50 @@
+"""Ablation: uniform aggregation (Eq. 9) vs class-time weighting (Eq. 10).
+
+The paper proposes Eq. 10 for very high resource heterogeneity, where fast
+classes complete many more ring passes and would otherwise dominate the
+average.  This bench compares both aggregators at H=10 and H=20.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.utils.tables import format_table
+
+
+def run_ablation(scale):
+    table = {}
+    for h in (10, 20):
+        for agg in ("uniform", "class_time"):
+            spec = ExperimentSpec(
+                method="fedhisyn",
+                dataset="cifar10_like",
+                num_samples=scale.num_samples,
+                num_devices=scale.num_devices,
+                partition="dirichlet",
+                beta=0.3,
+                het_ratio=float(h),
+                rounds=scale.rounds_hard,
+                local_epochs=scale.local_epochs,
+                model_family="mlp",
+                seed=scale.seeds[0],
+                method_kwargs={"num_classes": 5, "aggregation": agg},
+            )
+            table[(h, agg)] = run_experiment(spec).final_accuracy
+    return table
+
+
+def test_ablation_aggregation(benchmark, scale):
+    table = benchmark.pedantic(run_ablation, args=(scale,), rounds=1, iterations=1)
+    rows = [
+        [f"H={h}", f"{table[(h, 'uniform')]:.3f}", f"{table[(h, 'class_time')]:.3f}"]
+        for h in (10, 20)
+    ]
+    emit(
+        "Ablation — Eq. 9 (uniform) vs Eq. 10 (class-time) aggregation "
+        "(cifar10_like, Dir(0.3))",
+        format_table(["H", "uniform", "class_time"], rows),
+    )
+    # Both aggregators must train a usable model.
+    for value in table.values():
+        assert value > 0.4

@@ -1,0 +1,103 @@
+"""Table 1: models transmitted (relative to one FedAvg round) to reach a
+target accuracy + final accuracy, for 7 methods x 4 datasets x
+{IID, Dir(0.8), Dir(0.3)} x {100%, 50%, 10%} participation.
+
+Quick scale shrinks devices/rounds/samples (one CPU core) and uses the MLP
+family for every dataset; the shape targets are: FedHiSyn cheapest to
+target almost everywhere, SCAFFOLD the accuracy runner-up at 2x transfer
+cost, TAFedAvg collapsing at 10% participation, and FedHiSyn's margin
+growing with Non-IID level and task difficulty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.comparison import compare_methods
+from repro.experiments import ExperimentSpec
+from repro.utils.tables import format_table
+
+METHOD_ORDER = [
+    "fedhisyn", "fedavg", "fedprox", "fedat", "scaffold", "tafedavg", "tfedavg",
+]
+
+#: per-dataset quick-scale dimensions: (num_samples, rounds, target, preset)
+DATASET_CFG = {
+    "mnist_like": dict(num_samples=1500, rounds=10, target=0.85, preset="small"),
+    "emnist_like": dict(num_samples=2600, rounds=20, target=0.65, preset="small"),
+    "cifar10_like": dict(num_samples=1500, rounds=15, target=0.70, preset="small"),
+    "cifar100_like": dict(num_samples=3000, rounds=18, target=0.18, preset="paper"),
+}
+
+DISTRIBUTIONS = [("iid", None), ("dirichlet", 0.8), ("dirichlet", 0.3)]
+PARTICIPATIONS = [1.0, 0.5, 0.1]
+
+
+def run_dataset_block(dataset: str, scale) -> list[list]:
+    cfg = DATASET_CFG[dataset]
+    if scale.name == "paper":
+        cfg = dict(cfg, num_samples=scale.num_samples,
+                   rounds=scale.rounds_easy if "mnist" in dataset else scale.rounds_hard)
+    rows = []
+    for participation in PARTICIPATIONS:
+        # The paper: K=10 at 50/100% participation, K=2 at 10% (Section 6.1).
+        k = 2 if participation <= 0.1 else 5
+        for dist, beta in DISTRIBUTIONS:
+            spec = ExperimentSpec(
+                method="fedhisyn",
+                dataset=dataset,
+                num_samples=cfg["num_samples"],
+                num_devices=scale.num_devices,
+                partition=dist,
+                beta=beta if beta is not None else 0.3,
+                participation=participation,
+                rounds=cfg["rounds"],
+                local_epochs=scale.local_epochs,
+                model_family="mlp",
+                model_preset=cfg["preset"],
+                seed=scale.seeds[0],
+            )
+            results = compare_methods(
+                spec,
+                methods=METHOD_ORDER,
+                method_kwargs={"fedhisyn": {"num_classes": k}},
+            )
+            label = dist if beta is None else f"Dir({beta})"
+            row = [f"{participation:.0%}", label]
+            row.extend(results[m].table_cell(cfg["target"]) for m in METHOD_ORDER)
+            rows.append((row, results))
+    return rows
+
+
+@pytest.mark.parametrize("dataset", list(DATASET_CFG))
+def test_table1(benchmark, scale, dataset):
+    rows_results = benchmark.pedantic(
+        run_dataset_block, args=(dataset, scale), rounds=1, iterations=1
+    )
+    rows = [r for r, _ in rows_results]
+    target = DATASET_CFG[dataset]["target"]
+    emit(
+        f"Table 1 — {dataset} (target accuracy {target:.0%}, cells are "
+        f"relative-cost(final-acc))",
+        format_table(["part.", "dist"] + METHOD_ORDER, rows),
+    )
+
+    # Shape check: FedHiSyn beats-or-ties FedAvg in a majority of settings
+    # (the paper: in all of them).  A setting is a win/tie when FedHiSyn
+    # reaches the target at no greater relative cost; when neither method
+    # reaches it within the (reduced) round budget, final accuracy decides.
+    wins = total = 0
+    for _, results in rows_results:
+        fh = results["fedhisyn"].cost_to_target(target)
+        fa = results["fedavg"].cost_to_target(target)
+        total += 1
+        if fh is None and fa is None:
+            acc_fh = results["fedhisyn"].final_accuracy
+            acc_fa = results["fedavg"].final_accuracy
+            wins += acc_fh >= acc_fa - 0.01
+        elif fh is not None and (fa is None or fh <= fa):
+            wins += 1
+    assert wins >= total / 2, (
+        f"FedHiSyn beat-or-tied FedAvg in only {wins} of {total} settings"
+    )

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Straggler study: how resource heterogeneity affects each FL family.
+
+Sweeps the heterogeneity ratio H = l_max / l_min (Eq. 13 of the paper) and
+compares a strictly synchronous method (TFedAvg — pays the full straggler
+penalty), a fully asynchronous one (TAFedAvg — never waits but trains on
+stale models), and FedHiSyn (clusters same-speed devices so nobody waits
+and nothing goes stale).
+
+Run:  python examples/straggler_study.py
+"""
+
+from repro import ExperimentSpec, run_experiment
+
+METHODS = ("fedhisyn", "tfedavg", "tafedavg")
+
+
+def main() -> None:
+    print("Final accuracy on cifar10_like, Dirichlet(0.3), 20 devices:\n")
+    header = f"{'H':>4s}" + "".join(f"{m:>12s}" for m in METHODS)
+    print(header)
+    print("-" * len(header))
+    for h in (2, 5, 10, 20):
+        row = f"{h:>4d}"
+        for method in METHODS:
+            spec = ExperimentSpec(
+                method=method,
+                dataset="cifar10_like",
+                num_samples=1500,
+                num_devices=20,
+                partition="dirichlet",
+                beta=0.3,
+                het_ratio=float(h),
+                rounds=12,
+                local_epochs=1,
+                model_family="mlp",
+                method_kwargs={"num_classes": 5} if method == "fedhisyn" else {},
+            )
+            result = run_experiment(spec)
+            row += f"{result.final_accuracy:>12.3f}"
+        print(row)
+    print(
+        "\nReading: as H grows, the synchronous baseline stalls (every round"
+        "\nas slow as the slowest device, one unit of work each), while"
+        "\nFedHiSyn converts the fast devices' idle time into ring hops."
+    )
+
+
+if __name__ == "__main__":
+    main()

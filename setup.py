@@ -1,0 +1,5 @@
+"""Legacy setup shim: offline environments without the `wheel` package cannot
+use PEP 660 editable installs; `python setup.py develop` still works."""
+from setuptools import setup
+
+setup()

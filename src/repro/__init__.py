@@ -1,0 +1,42 @@
+"""FedHiSyn reproduction (ICPP 2022) — hierarchical synchronous federated
+learning for resource and data heterogeneity, built entirely on NumPy.
+
+Quick start
+-----------
+>>> from repro import ExperimentSpec, run_experiment
+>>> spec = ExperimentSpec(method="fedhisyn", dataset="mnist_like",
+...                       num_devices=10, rounds=5)
+>>> result = run_experiment(spec)          # doctest: +SKIP
+>>> result.final_accuracy                  # doctest: +SKIP
+
+Package layout (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — FedHiSyn itself (clustering, rings, aggregation,
+  Algorithm 1) and the shared server scaffolding.
+- :mod:`repro.baselines` — FedAvg, TFedAvg, TAFedAvg, FedProx, FedAT,
+  SCAFFOLD.
+- :mod:`repro.nn` — pure-NumPy neural networks (the paper's MLP and CNN).
+- :mod:`repro.datasets` — synthetic dataset generators + partitioners.
+- :mod:`repro.device` — device model, heterogeneity, link delays.
+- :mod:`repro.simulation` — virtual clock, event queue, ring engine,
+  transmission metering.
+- :mod:`repro.analysis` — Eq. 4 divergence, Theorem 5.1 bound, sweeps.
+- :mod:`repro.experiments` — one-config experiment assembly.
+"""
+
+from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
+from repro.experiments import ExperimentSpec, METHODS, build_experiment, run_experiment
+from repro.simulation.results import RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FedHiSynServer",
+    "FedHiSynConfig",
+    "ExperimentSpec",
+    "build_experiment",
+    "run_experiment",
+    "RunResult",
+    "METHODS",
+    "__version__",
+]

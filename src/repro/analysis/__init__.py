@@ -1,0 +1,28 @@
+"""Analysis tools: the paper's Non-IID divergence metric (Eq. 4), the
+Theorem 5.1 convergence bound, and method-comparison sweep helpers."""
+
+from repro.analysis.convergence import (
+    fedavg_theory_lr,
+    gamma_heterogeneity,
+    ring_gradient_norm_bound,
+    theorem51_bound,
+)
+from repro.analysis.divergence import (
+    empirical_divergence_proxy,
+    label_divergence,
+    per_device_divergence,
+)
+from repro.analysis.comparison import compare_methods, format_comparison, table1_cells
+
+__all__ = [
+    "format_comparison",
+    "label_divergence",
+    "per_device_divergence",
+    "empirical_divergence_proxy",
+    "gamma_heterogeneity",
+    "theorem51_bound",
+    "ring_gradient_norm_bound",
+    "fedavg_theory_lr",
+    "compare_methods",
+    "table1_cells",
+]

@@ -1,0 +1,61 @@
+"""Method-comparison sweeps: run several algorithms on one shared setup.
+
+Feeds Table 1 and every figure bench: same dataset, same partition, same
+heterogeneity draw, same model init — only the algorithm differs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.simulation.results import RunResult
+from repro.utils.tables import format_table
+
+__all__ = ["compare_methods", "table1_cells", "format_comparison"]
+
+
+def compare_methods(
+    spec: ExperimentSpec,
+    methods: Sequence[str] | None = None,
+    method_kwargs: dict[str, dict] | None = None,
+) -> dict[str, RunResult]:
+    """Run each method on the identical experiment; returns name -> result.
+
+    ``spec.seed`` fixes the dataset, the partition, the heterogeneity draw
+    and the model init across methods, so differences are algorithmic.
+    """
+    methods = list(methods) if methods is not None else [
+        "fedhisyn", "fedavg", "fedprox", "fedat", "scaffold", "tafedavg", "tfedavg",
+    ]
+    method_kwargs = method_kwargs or {}
+    results: dict[str, RunResult] = {}
+    for name in methods:
+        method_spec = spec.with_method(name, **method_kwargs.get(name, {}))
+        results[name] = run_experiment(method_spec)
+    return results
+
+
+def table1_cells(results: dict[str, RunResult], target: float) -> dict[str, str]:
+    """Render each method's Table 1 cell: "relative-cost(final-acc%)"."""
+    return {name: res.table_cell(target) for name, res in results.items()}
+
+
+def format_comparison(
+    results: dict[str, RunResult], target: float, title: str = ""
+) -> str:
+    """Tabulate cost-to-target / final / best accuracy for each method."""
+    rows = []
+    for name, res in sorted(results.items()):
+        cost = res.cost_to_target(target)
+        rows.append(
+            [
+                name,
+                "X" if cost is None else f"{cost:.1f}",
+                f"{res.final_accuracy * 100:.2f}%",
+                f"{res.best_accuracy * 100:.2f}%",
+            ]
+        )
+    return format_table(
+        ["method", f"cost@{target:.0%}", "final acc", "best acc"], rows, title=title
+    )

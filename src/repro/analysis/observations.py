@@ -1,0 +1,187 @@
+"""The motivating experiments of Section 3.2 (Figures 2, 3 and 4).
+
+These are *decentralized* experiments — no server aggregation — measuring
+the mean overall-test accuracy of the per-device models, the paper's proxy
+for the divergence D of Eq. (4):
+
+* **Figure 2** — five device-communication modes on homogeneous devices:
+  ``none``, ``random``, ``random_avg``, ``ring``, ``ring_avg``
+  (``_avg`` = average the received model with the own model before
+  training; otherwise train the received model directly).
+* **Figure 3** — ring orderings under heterogeneous resources:
+  ``random``, ``small_to_large``, ``large_to_small``.
+* **Figure 4** — number of capacity clusters under heterogeneous
+  resources; reports the mean accuracy of the *fastest* class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clustering import cluster_by_capacity
+from repro.core.ring import build_ring
+from repro.datasets.core import ClassificationDataset
+from repro.device.device import Device
+from repro.nn.serialization import set_flat_params
+from repro.simulation.engine import RingRoundEngine
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "COMMUNICATION_MODES",
+    "ObservationResult",
+    "communication_mode_experiment",
+    "ring_order_experiment",
+    "cluster_count_experiment",
+]
+
+COMMUNICATION_MODES = ("none", "random", "random_avg", "ring", "ring_avg")
+
+
+@dataclass
+class ObservationResult:
+    """Mean device-model accuracy per round, plus the setting label."""
+
+    label: str
+    round_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final(self) -> float:
+        if not self.round_accuracies:
+            raise ValueError("empty result")
+        return self.round_accuracies[-1]
+
+
+def _mean_device_accuracy(
+    devices: list[Device], test_set: ClassificationDataset
+) -> float:
+    model = devices[0].trainer.model
+    accs = []
+    for d in devices:
+        set_flat_params(model, d.weights)
+        accs.append(model.accuracy(test_set.x, test_set.y))
+    return float(np.mean(accs))
+
+
+def communication_mode_experiment(
+    mode: str,
+    devices: list[Device],
+    test_set: ClassificationDataset,
+    initial_weights: np.ndarray,
+    rounds: int = 10,
+    epochs_per_round: int = 1,
+    seed: int = 0,
+    eval_every: int = 1,
+) -> ObservationResult:
+    """Figure 2: one decentralized run under the given communication mode.
+
+    Devices are assumed homogeneous (the paper's setting).  Each round every
+    device trains once; then, depending on the mode, models move between
+    devices (ring neighbour or a random permutation partner) and are either
+    used directly or averaged with the recipient's own model.
+    """
+    if mode not in COMMUNICATION_MODES:
+        raise ValueError(f"mode must be one of {COMMUNICATION_MODES}, got {mode!r}")
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    seeds = SeedSequenceFactory(seed)
+    n = len(devices)
+    weights = [initial_weights.copy() for _ in devices]
+    result = ObservationResult(label=mode)
+
+    for r in range(rounds):
+        # Local training step for every device on its current model.
+        for i, dev in enumerate(devices):
+            weights[i] = dev.run_unit(weights[i], epochs_per_round, r, 0)
+        # Communication step.
+        if mode != "none":
+            if mode.startswith("ring"):
+                # neighbour i -> i+1 (fixed ring; homogeneous order = id).
+                incoming = [weights[(i - 1) % n] for i in range(n)]
+            else:
+                # fresh random permutation partner each round
+                perm = seeds.generator(r).permutation(n)
+                incoming = [weights[perm[i]] for i in range(n)]
+            if mode.endswith("_avg"):
+                weights = [
+                    0.5 * (weights[i] + incoming[i]) for i in range(n)
+                ]
+            else:
+                weights = [incoming[i].copy() for i in range(n)]
+        if (r + 1) % eval_every == 0 or r == rounds - 1:
+            for i, dev in enumerate(devices):
+                dev.weights = weights[i]
+            result.round_accuracies.append(_mean_device_accuracy(devices, test_set))
+    return result
+
+
+def ring_order_experiment(
+    order: str,
+    devices: list[Device],
+    test_set: ClassificationDataset,
+    initial_weights: np.ndarray,
+    rounds: int = 10,
+    epochs_per_unit: int = 1,
+    seed: int = 0,
+) -> ObservationResult:
+    """Figure 3: decentralized single-ring training under an ordering.
+
+    All devices form ONE ring (no clustering, no server); each round lasts
+    the slowest device's unit time, so fast devices complete several hops.
+    Devices carry their own models across rounds (decentralized — no
+    periodic re-broadcast).
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    engine = RingRoundEngine(devices, epochs_per_unit=epochs_per_unit)
+    ids = [d.device_id for d in devices]
+    times = [d.unit_time for d in devices]
+    ring = build_ring(ids, times, order=order, seed=seed)
+    duration = max(times)
+    result = ObservationResult(label=order)
+
+    current: dict[int, np.ndarray] = {
+        d.device_id: initial_weights.copy() for d in devices
+    }
+    for r in range(rounds):
+        engine.run_round([ring], current, duration, r)
+        current = {d.device_id: d.weights for d in devices}
+        result.round_accuracies.append(_mean_device_accuracy(devices, test_set))
+    return result
+
+
+def cluster_count_experiment(
+    num_clusters: int,
+    devices: list[Device],
+    test_set: ClassificationDataset,
+    initial_weights: np.ndarray,
+    rounds: int = 10,
+    epochs_per_unit: int = 1,
+    seed: int = 0,
+) -> ObservationResult:
+    """Figure 4: cluster into ``num_clusters`` capacity classes, ring per
+    class, decentralized training; report the fastest class's mean accuracy
+    per round.  Devices carry their models across rounds."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    times = np.array([d.unit_time for d in devices])
+    ids = [d.device_id for d in devices]
+    classes = cluster_by_capacity(times, num_clusters)
+    rings = [
+        build_ring([ids[i] for i in cls], times[cls], order="small_to_large")
+        for cls in classes
+    ]
+    by_id = {d.device_id: d for d in devices}
+    fastest = [by_id[ids[i]] for i in classes[0]]
+    engine = RingRoundEngine(devices, epochs_per_unit=epochs_per_unit)
+    duration = float(times.max())
+    result = ObservationResult(label=f"K={num_clusters}")
+    current: dict[int, np.ndarray] = {
+        d.device_id: initial_weights.copy() for d in devices
+    }
+    for r in range(rounds):
+        engine.run_round(rings, current, duration, r)
+        current = {d.device_id: d.weights for d in devices}
+        result.round_accuracies.append(_mean_device_accuracy(fastest, test_set))
+    return result

@@ -1,0 +1,55 @@
+"""The paper's six comparison methods (Section 6.1, "Baselines").
+
+All subclass :class:`repro.core.server.FederatedServer`, so they share
+participant sampling, the virtual clock, transmission metering and
+evaluation with FedHiSyn — only the round algorithm differs.
+
+========== =============================================================
+Method      One round (duration R = slowest participant's unit time)
+========== =============================================================
+FedAvg      every participant trains for the whole R (fast devices run
+            more epochs), sample-weighted average (the paper's
+            "asynchronous-setting FedAvg" description)
+TFedAvg     strictly synchronous: exactly one training unit each, the
+            server waits for the slowest
+TAFedAvg    fully asynchronous: a device uploads after every unit, the
+            server mixes it into the global model immediately
+FedProx     FedAvg plus a proximal term toward the round-start model
+FedAT       capacity tiers; synchronous inside a tier, tiers update the
+            server asynchronously, cross-tier weighted aggregation
+SCAFFOLD    synchronous control-variate correction; each transfer costs
+            two model units (model + variate)
+========== =============================================================
+"""
+
+from repro.baselines.fedavg import FedAvgConfig, FedAvgServer
+from repro.baselines.fedat import FedATConfig, FedATServer
+from repro.baselines.fedprox import FedProxConfig, FedProxServer
+from repro.baselines.scaffold import ScaffoldConfig, ScaffoldServer
+from repro.baselines.tafedavg import TAFedAvgConfig, TAFedAvgServer
+from repro.baselines.tfedavg import TFedAvgConfig, TFedAvgServer
+
+ALL_BASELINES = {
+    "fedavg": FedAvgServer,
+    "tfedavg": TFedAvgServer,
+    "tafedavg": TAFedAvgServer,
+    "fedprox": FedProxServer,
+    "fedat": FedATServer,
+    "scaffold": ScaffoldServer,
+}
+
+__all__ = [
+    "FedAvgConfig",
+    "FedAvgServer",
+    "TFedAvgConfig",
+    "TFedAvgServer",
+    "TAFedAvgConfig",
+    "TAFedAvgServer",
+    "FedProxConfig",
+    "FedProxServer",
+    "FedATConfig",
+    "FedATServer",
+    "ScaffoldConfig",
+    "ScaffoldServer",
+    "ALL_BASELINES",
+]

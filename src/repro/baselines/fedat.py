@@ -1,0 +1,106 @@
+"""FedAT baseline (Chai et al., SC'21): synchronous tiers, asynchronous
+cross-tier updates.
+
+Participants are clustered into ``num_tiers`` capacity tiers (same 1-D
+k-means the paper's own framework uses).  A tier runs an internal
+synchronous FedAvg round that lasts as long as its *own* slowest member —
+so fast tiers complete several tier-rounds while the slowest completes one.
+Each tier-round uploads a tier model, and the server rebuilds the global
+model as a cross-tier weighted average that favours *less frequently
+updating* (slower) tiers, FedAT's inverse-frequency compensation for
+update-rate bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import sample_weighted_average, weighted_average
+from repro.core.clustering import cluster_by_capacity
+from repro.core.server import FederatedServer, ServerConfig
+from repro.device.device import Device
+from repro.simulation.engine import async_upload_schedule
+
+__all__ = ["FedATConfig", "FedATServer"]
+
+
+@dataclass
+class FedATConfig(ServerConfig):
+    """``num_tiers``: number of capacity tiers (FedAT's M)."""
+
+    num_tiers: int = 5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_tiers <= 0:
+            raise ValueError(f"num_tiers must be positive, got {self.num_tiers}")
+
+
+class FedATServer(FederatedServer):
+    method = "fedat"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Tier models persist across rounds; keyed by tier index after the
+        # per-round clustering (tiers are stable because unit times are).
+        self._tier_models: dict[int, np.ndarray] = {}
+        self._tier_update_counts: dict[int, int] = {}
+
+    def _cross_tier_average(self, fallback: np.ndarray) -> np.ndarray:
+        """Weighted average of tier models, favouring slow tiers.
+
+        Weight of tier m is ``1 + max_count - count_m`` so the least
+        frequently updated tier weighs the most (FedAT Section 3.2's
+        inverse-frequency idea in its simplest monotone form).
+        """
+        if not self._tier_models:
+            return fallback
+        tiers = sorted(self._tier_models)
+        counts = np.array([self._tier_update_counts[t] for t in tiers], dtype=float)
+        weights = 1.0 + counts.max() - counts
+        stack = np.stack([self._tier_models[t] for t in tiers])
+        return weighted_average(stack, weights)
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        cfg: FedATConfig = self.config  # type: ignore[assignment]
+        duration = self.round_duration(participants)
+        times = np.array([d.unit_time for d in participants])
+        tiers = cluster_by_capacity(times, min(cfg.num_tiers, len(participants)))
+
+        current = global_weights
+        # Tier-round completion times over this reporting round: tier m
+        # finishes a tier-round every max-unit-time-in-tier.
+        tier_span = {m: float(times[idx].max()) for m, idx in enumerate(tiers)}
+        schedule = async_upload_schedule(tier_span, duration)
+
+        unit_counter = {d.device_id: 0 for d in participants}
+        for _time, tier_idx in schedule:
+            members = [participants[i] for i in tiers[tier_idx]]
+            # Tier-synchronous FedAvg round from the current global model.
+            self.meter.record_download(len(members))
+            stack = np.empty((len(members), self.trainer.dim))
+            for i, dev in enumerate(members):
+                stack[i] = dev.run_unit(
+                    current,
+                    cfg.local_epochs,
+                    round_idx,
+                    unit_counter[dev.device_id],
+                )
+                unit_counter[dev.device_id] += 1
+            self.meter.record_upload(len(members))
+            counts = np.array([d.num_samples for d in members])
+            self._tier_models[tier_idx] = sample_weighted_average(stack, counts)
+            self._tier_update_counts[tier_idx] = (
+                self._tier_update_counts.get(tier_idx, 0) + 1
+            )
+            current = self._cross_tier_average(current)
+
+        self.clock.advance_by(duration)
+        return current

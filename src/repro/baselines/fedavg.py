@@ -1,0 +1,56 @@
+"""FedAvg baseline.
+
+The paper runs FedAvg "in an asynchronous setting": the server collects
+weights at regular intervals (one round = the slowest participant's unit
+time), so a fast device fits several local-training units into the round
+while a slow one fits exactly one — "devices with more computing power are
+able to do more rounds of local training" (Section 6.1).  Aggregation is
+the classic sample-count weighting (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import sample_weighted_average
+from repro.core.server import FederatedServer, ServerConfig
+from repro.device.device import Device
+
+__all__ = ["FedAvgConfig", "FedAvgServer"]
+
+
+@dataclass
+class FedAvgConfig(ServerConfig):
+    """FedAvg has no extra hyper-parameters beyond the shared ones."""
+
+
+class FedAvgServer(FederatedServer):
+    method = "fedavg"
+
+    def local_epochs_for(self, device: Device, duration: float) -> int:
+        """Maximum achievable epochs within the round (paper Section 6.1)."""
+        units = max(1, int(duration / device.unit_time + 1e-9))
+        return units * self.config.local_epochs
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        duration = self.round_duration(participants)
+        self.meter.record_download(len(participants))
+        stack = np.empty((len(participants), self.trainer.dim))
+        for i, dev in enumerate(participants):
+            stack[i] = dev.run_unit(
+                global_weights,
+                self.local_epochs_for(dev, duration),
+                round_idx,
+                0,
+            )
+        self.meter.record_upload(len(participants))
+        self.clock.advance_by(duration)
+        counts = np.array([d.num_samples for d in participants])
+        return sample_weighted_average(stack, counts)

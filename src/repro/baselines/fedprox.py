@@ -1,0 +1,60 @@
+"""FedProx baseline.
+
+FedAvg's round structure (heterogeneous devices run however many epochs fit
+in the round) plus a proximal term ``(mu/2) ||w - w_global||^2`` in every
+device objective, which bounds how far partial/extended local work can
+drift from the round-start model (Section 2.2/6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.fedavg import FedAvgServer
+from repro.core.aggregation import sample_weighted_average
+from repro.core.server import ServerConfig
+from repro.device.device import Device
+from repro.utils.config import validate_non_negative
+
+__all__ = ["FedProxConfig", "FedProxServer"]
+
+
+@dataclass
+class FedProxConfig(ServerConfig):
+    """``mu``: strength of the proximal pull toward the round-start model."""
+
+    mu: float = 0.01
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_non_negative(self.mu, "mu")
+
+
+class FedProxServer(FedAvgServer):
+    method = "fedprox"
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        cfg: FedProxConfig = self.config  # type: ignore[assignment]
+        duration = self.round_duration(participants)
+        self.meter.record_download(len(participants))
+        stack = np.empty((len(participants), self.trainer.dim))
+        for i, dev in enumerate(participants):
+            stack[i] = dev.run_unit(
+                global_weights,
+                self.local_epochs_for(dev, duration),
+                round_idx,
+                0,
+                anchor=global_weights,
+                mu=cfg.mu,
+            )
+        self.meter.record_upload(len(participants))
+        self.clock.advance_by(duration)
+        counts = np.array([d.num_samples for d in participants])
+        return sample_weighted_average(stack, counts)

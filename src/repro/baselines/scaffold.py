@@ -1,0 +1,99 @@
+"""SCAFFOLD baseline (Karimireddy et al., 2020).
+
+Synchronous rounds with control variates: each device SGD step uses the
+corrected gradient ``g + c - c_i`` where ``c`` is the server variate and
+``c_i`` the device's.  After local training the device refreshes its
+variate with SCAFFOLD's "option II",
+
+    c_i+ = c_i - c + (x - y_i) / (K * eta),
+
+and the server applies
+
+    x   += (lr_g / |S|) * sum_i (y_i - x)
+    c   += (|S| / N)    * mean_i (c_i+ - c_i).
+
+Every device<->server transfer carries the model *and* a variate, so the
+meter records two model units per transfer — the paper halves SCAFFOLD's
+reported rounds for the same reason (Section 6.1, Metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.server import FederatedServer, ServerConfig
+from repro.device.device import Device
+from repro.utils.config import validate_positive
+
+__all__ = ["ScaffoldConfig", "ScaffoldServer"]
+
+
+@dataclass
+class ScaffoldConfig(ServerConfig):
+    """``global_lr``: server step size on the aggregated model delta."""
+
+    global_lr: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_positive(self.global_lr, "global_lr")
+
+
+class ScaffoldServer(FederatedServer):
+    method = "scaffold"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        dim = self.trainer.dim
+        self.server_variate = np.zeros(dim)
+        self.device_variates: dict[int, np.ndarray] = {
+            d.device_id: np.zeros(dim) for d in self.devices
+        }
+
+    def local_epochs_for(self, device: Device, duration: float) -> int:
+        """Like FedAvg: the maximum achievable epochs within the round."""
+        units = max(1, int(duration / device.unit_time + 1e-9))
+        return units * self.config.local_epochs
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        cfg: ScaffoldConfig = self.config  # type: ignore[assignment]
+        duration = self.round_duration(participants)
+        eta = self.trainer.lr
+
+        # Broadcast model + server variate: 2 model units per participant.
+        self.meter.record_download(len(participants), model_units=2.0)
+
+        delta_model = np.zeros_like(global_weights)
+        delta_variate = np.zeros_like(self.server_variate)
+        for dev in participants:
+            c_i = self.device_variates[dev.device_id]
+            correction = self.server_variate - c_i
+            epochs = self.local_epochs_for(dev, duration)
+            y_i, steps = self.trainer.train(
+                global_weights,
+                dev.shard,
+                epochs,
+                stream_key=(dev.device_id, round_idx, 0),
+                correction=correction,
+            )
+            dev.weights = y_i
+            # Option II variate refresh.
+            c_plus = c_i - self.server_variate + (global_weights - y_i) / (steps * eta)
+            delta_model += y_i - global_weights
+            delta_variate += c_plus - c_i
+            self.device_variates[dev.device_id] = c_plus
+
+        self.meter.record_upload(len(participants), model_units=2.0)
+        self.clock.advance_by(duration)
+
+        s = len(participants)
+        new_global = global_weights + cfg.global_lr * delta_model / s
+        self.server_variate = self.server_variate + delta_variate / len(self.devices)
+        return new_global

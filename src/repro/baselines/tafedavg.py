@@ -1,0 +1,102 @@
+"""TAFedAvg baseline: fully asynchronous FedAvg.
+
+"Each device uploads its local model to the server just after finishing its
+own training process.  The server is responsible for accepting the new
+models and aggregating them to the original model" (Section 6.1).
+
+Within a reporting round of duration R, every upload event mixes the
+device's model into the global with a constant rate ``alpha`` and the
+server immediately returns the updated global to the device — so a fast
+device cycles ~H times per round while a slow one cycles once, training on
+increasingly *stale* views of the global model.  That staleness is exactly
+the failure mode the paper observes at low participation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.server import FederatedServer, ServerConfig
+from repro.device.device import Device
+from repro.simulation.engine import async_upload_schedule
+from repro.utils.config import validate_fraction
+
+__all__ = ["TAFedAvgConfig", "TAFedAvgServer"]
+
+
+@dataclass
+class TAFedAvgConfig(ServerConfig):
+    """``alpha``: base server mixing rate per upload (FedAsync-style).
+
+    ``staleness_exponent`` > 0 enables FedAsync's polynomial staleness
+    damping [Xie et al. 2019, cited by the paper]: an upload computed
+    against a global model that has since absorbed ``s`` other uploads is
+    mixed with rate ``alpha * (1 + s) ** -staleness_exponent``, so stale
+    contributions from slow devices move the global model less.
+    """
+
+    alpha: float = 0.1
+    staleness_exponent: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_fraction(self.alpha, "alpha")
+        if self.staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be >= 0, got {self.staleness_exponent}"
+            )
+
+
+class TAFedAvgServer(FederatedServer):
+    method = "tafedavg"
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        cfg: TAFedAvgConfig = self.config  # type: ignore[assignment]
+        duration = self.round_duration(participants)
+        by_id = {d.device_id: d for d in participants}
+
+        # Round start: every participant pulls the current global model.
+        self.meter.record_download(len(participants))
+        local_view: dict[int, np.ndarray] = {
+            d.device_id: global_weights for d in participants
+        }
+        unit_counter: dict[int, int] = {d.device_id: 0 for d in participants}
+        # Server version counter for staleness: the version each device's
+        # view was taken at, vs the version at its upload.
+        version = 0
+        view_version: dict[int, int] = {d.device_id: 0 for d in participants}
+
+        schedule = async_upload_schedule(
+            {d.device_id: d.unit_time for d in participants}, duration
+        )
+        current = global_weights
+        for _time, dev_id in schedule:
+            dev = by_id[dev_id]
+            trained = dev.run_unit(
+                local_view[dev_id],
+                cfg.local_epochs,
+                round_idx,
+                unit_counter[dev_id],
+            )
+            unit_counter[dev_id] += 1
+            self.meter.record_upload(1)
+            rate = cfg.alpha
+            if cfg.staleness_exponent > 0:
+                staleness = version - view_version[dev_id]
+                rate = cfg.alpha * (1.0 + staleness) ** -cfg.staleness_exponent
+            current = (1.0 - rate) * current + rate * trained
+            version += 1
+            # Server replies with the fresh global; device trains it next.
+            self.meter.record_download(1)
+            local_view[dev_id] = current
+            view_version[dev_id] = version
+
+        self.clock.advance_by(duration)
+        return current

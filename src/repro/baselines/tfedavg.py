@@ -1,0 +1,46 @@
+"""TFedAvg baseline: strictly synchronous FedAvg.
+
+Every participant performs exactly one local-training unit (the paper's 5
+epochs) and then idles until the slowest finishes; the server aggregates
+once per round with sample-count weights.  This is the straggler-bound
+configuration that motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import sample_weighted_average
+from repro.core.server import FederatedServer, ServerConfig
+from repro.device.device import Device
+
+__all__ = ["TFedAvgConfig", "TFedAvgServer"]
+
+
+@dataclass
+class TFedAvgConfig(ServerConfig):
+    """TFedAvg has no extra hyper-parameters beyond the shared ones."""
+
+
+class TFedAvgServer(FederatedServer):
+    method = "tfedavg"
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        duration = self.round_duration(participants)  # wait for the straggler
+        self.meter.record_download(len(participants))
+        stack = np.empty((len(participants), self.trainer.dim))
+        for i, dev in enumerate(participants):
+            stack[i] = dev.run_unit(
+                global_weights, self.config.local_epochs, round_idx, 0
+            )
+        self.meter.record_upload(len(participants))
+        self.clock.advance_by(duration)
+        counts = np.array([d.num_samples for d in participants])
+        return sample_weighted_average(stack, counts)

@@ -1,0 +1,71 @@
+"""Server-side model aggregation rules.
+
+* :func:`uniform_average` — Eq. (9), FedHiSyn's default: every uploaded
+  model weighs the same, because each has already traversed several
+  devices and its "sample count" is not meaningful.
+* :func:`class_time_weighted_average` — Eq. (10): weight by the average
+  local-training time of the uploader's capacity class, so slow classes
+  (fewer ring hops per round) are not drowned out by fast ones.
+* :func:`sample_weighted_average` — Eq. (3), classic FedAvg weighting,
+  used by the baselines.
+
+All functions take a 2-D stack ``(num_models, dim)`` and return a flat
+vector; they are pure NumPy reductions (one pass, no copies of the stack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_average",
+    "sample_weighted_average",
+    "class_time_weighted_average",
+    "weighted_average",
+]
+
+
+def _check_stack(stack: np.ndarray) -> np.ndarray:
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 2 or stack.shape[0] == 0:
+        raise ValueError(f"expected a non-empty (num_models, dim) stack, got {stack.shape}")
+    return stack
+
+
+def weighted_average(stack: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Convex combination of model vectors; weights are normalized here."""
+    stack = _check_stack(stack)
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if weights.size != stack.shape[0]:
+        raise ValueError(
+            f"got {weights.size} weights for {stack.shape[0]} models"
+        )
+    if np.any(weights < 0):
+        raise ValueError("aggregation weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("aggregation weights must not all be zero")
+    return (weights / total) @ stack
+
+
+def uniform_average(stack: np.ndarray) -> np.ndarray:
+    """Eq. (9): plain mean over uploaded models."""
+    stack = _check_stack(stack)
+    return stack.mean(axis=0)
+
+
+def sample_weighted_average(stack: np.ndarray, num_samples: np.ndarray) -> np.ndarray:
+    """Eq. (3): weight each model by its device's sample count (FedAvg)."""
+    return weighted_average(stack, np.asarray(num_samples, dtype=np.float64))
+
+
+def class_time_weighted_average(
+    stack: np.ndarray, class_mean_times: np.ndarray
+) -> np.ndarray:
+    """Eq. (10): weight model ``i`` by ``l_i / L`` where ``l_i`` is the mean
+    local-training time of the uploader's capacity class.
+
+    Slower classes get *larger* weight: they completed fewer ring passes,
+    so without this their information would be under-represented.
+    """
+    return weighted_average(stack, np.asarray(class_mean_times, dtype=np.float64))

@@ -1,0 +1,106 @@
+"""Capacity clustering: group devices by local-training time.
+
+The paper clusters the devices selected each round into ``K`` classes with
+k-means on the (scalar) time to complete local training (Section 4.1),
+class 1 being the fastest.  One-dimensional k-means is solved here with
+quantile initialization + Lloyd iterations — for 1-D data this converges in
+a handful of passes and is deterministic given the input.
+
+``equal_width_bins`` is provided as an ablation alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans_1d", "equal_width_bins", "cluster_by_capacity"]
+
+
+def kmeans_1d(
+    values: np.ndarray,
+    k: int,
+    max_iter: int = 100,
+    tol: float = 1e-10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means on scalars.
+
+    Returns ``(labels, centers)`` with centers sorted ascending, so label 0
+    is the cluster of smallest values.  ``k`` is clipped to the number of
+    distinct values (extra clusters would be empty).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot cluster an empty array")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    distinct = np.unique(values)
+    k = min(k, distinct.size)
+
+    # Quantile init over distinct values avoids duplicate/empty centers.
+    qs = (np.arange(k) + 0.5) / k
+    centers = np.quantile(distinct, qs)
+
+    labels = np.zeros(values.size, dtype=np.intp)
+    for _ in range(max_iter):
+        # Assign: nearest center (vectorized over the n x k distance table).
+        dist = np.abs(values[:, None] - centers[None, :])
+        labels = dist.argmin(axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = values[labels == j]
+            if members.size:
+                new_centers[j] = members.mean()
+        new_centers.sort()
+        if np.max(np.abs(new_centers - centers)) < tol:
+            centers = new_centers
+            break
+        centers = new_centers
+    # Final assignment against sorted centers; relabel so 0 = smallest.
+    dist = np.abs(values[:, None] - centers[None, :])
+    labels = dist.argmin(axis=1)
+    return labels, centers
+
+
+def equal_width_bins(values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Ablation: split the value range into ``k`` equal-width bins.
+
+    Same return convention as :func:`kmeans_1d`; empty bins are allowed
+    (their center is the bin midpoint).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot bin an empty array")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    lo, hi = values.min(), values.max()
+    if lo == hi or k == 1:
+        return np.zeros(values.size, dtype=np.intp), np.array([(lo + hi) / 2.0])
+    edges = np.linspace(lo, hi, k + 1)
+    labels = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, k - 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return labels.astype(np.intp), centers
+
+
+def cluster_by_capacity(
+    unit_times: np.ndarray,
+    k: int,
+    method: str = "kmeans",
+) -> list[np.ndarray]:
+    """Group device *positions* into capacity classes, fastest class first.
+
+    Returns a list of index arrays (into ``unit_times``); every position
+    appears in exactly one class, empty classes are dropped.  This is the
+    server's Cluster() step in Algorithm 1 line 4.
+    """
+    unit_times = np.asarray(unit_times, dtype=np.float64).ravel()
+    if method == "kmeans":
+        labels, _ = kmeans_1d(unit_times, k)
+    elif method == "equal_width":
+        labels, _ = equal_width_bins(unit_times, k)
+    else:
+        raise ValueError(f"unknown clustering method {method!r}")
+    classes = [np.flatnonzero(labels == j) for j in range(labels.max() + 1)]
+    classes = [c for c in classes if c.size]
+    # Order classes fastest-first by mean unit time (class 1 of the paper).
+    classes.sort(key=lambda idx: unit_times[idx].mean())
+    return classes

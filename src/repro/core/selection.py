@@ -1,0 +1,107 @@
+"""Device-selection strategies.
+
+The paper's Section 2.2 surveys selection-based answers to resource
+heterogeneity — FedCS picks devices with sufficient compute, Oort favours
+"excellent" devices — and argues they shrink the participant pool and lose
+the data held by slow devices.  This module implements those strategies as
+pluggable policies so the claim is testable against FedHiSyn's
+keep-everyone-busy design (the ``selection`` ablation bench).
+
+A policy maps (round index, devices, rng) to the participating subset.
+:class:`~repro.core.server.FederatedServer` uses :class:`BernoulliSelection`
+(the paper's per-device participation probability) by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.device import Device
+from repro.utils.config import validate_fraction
+
+__all__ = [
+    "SelectionPolicy",
+    "BernoulliSelection",
+    "FastestSelection",
+    "DataSizeSelection",
+    "make_policy",
+]
+
+
+class SelectionPolicy:
+    """Interface: pick this round's participants (never empty)."""
+
+    def select(
+        self,
+        round_idx: int,
+        devices: list[Device],
+        rng: np.random.Generator,
+    ) -> list[Device]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _non_empty(
+        chosen: list[Device], devices: list[Device], rng: np.random.Generator
+    ) -> list[Device]:
+        if chosen:
+            return chosen
+        return [devices[rng.integers(len(devices))]]
+
+
+class BernoulliSelection(SelectionPolicy):
+    """The paper's setting: each device joins with probability ``p``."""
+
+    def __init__(self, participation: float) -> None:
+        validate_fraction(participation, "participation")
+        self.participation = participation
+
+    def select(self, round_idx, devices, rng):
+        if self.participation >= 1.0:
+            return list(devices)
+        mask = rng.random(len(devices)) < self.participation
+        chosen = [d for d, m in zip(devices, mask) if m]
+        return self._non_empty(chosen, devices, rng)
+
+
+class FastestSelection(SelectionPolicy):
+    """FedCS-style: take the ``fraction`` of devices with the smallest unit
+    time — maximal throughput, but slow devices' data never participates."""
+
+    def __init__(self, fraction: float) -> None:
+        validate_fraction(fraction, "fraction")
+        self.fraction = fraction
+
+    def select(self, round_idx, devices, rng):
+        k = max(1, int(round(self.fraction * len(devices))))
+        ranked = sorted(devices, key=lambda d: (d.unit_time, d.device_id))
+        return ranked[:k]
+
+
+class DataSizeSelection(SelectionPolicy):
+    """Oort-flavoured utility sampling: inclusion probability proportional
+    to the shard size (more data = more useful update), ``fraction`` of the
+    fleet per round, without replacement."""
+
+    def __init__(self, fraction: float) -> None:
+        validate_fraction(fraction, "fraction")
+        self.fraction = fraction
+
+    def select(self, round_idx, devices, rng):
+        k = max(1, int(round(self.fraction * len(devices))))
+        sizes = np.array([d.num_samples for d in devices], dtype=np.float64)
+        probs = sizes / sizes.sum()
+        idx = rng.choice(len(devices), size=min(k, len(devices)),
+                         replace=False, p=probs)
+        return [devices[i] for i in sorted(idx)]
+
+
+def make_policy(name: str, fraction: float) -> SelectionPolicy:
+    """Policy factory: 'bernoulli' (paper default), 'fastest', 'datasize'."""
+    name = name.lower()
+    if name == "bernoulli":
+        return BernoulliSelection(fraction)
+    if name == "fastest":
+        return FastestSelection(fraction)
+    if name == "datasize":
+        return DataSizeSelection(fraction)
+    raise ValueError(f"unknown selection policy {name!r}")

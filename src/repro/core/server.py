@@ -1,0 +1,170 @@
+"""Shared federated-server scaffolding.
+
+Every method in this library (FedHiSyn and the six baselines) is a subclass
+of :class:`FederatedServer` that implements a single hook,
+:meth:`FederatedServer.run_round`.  The base class owns everything the
+paper keeps constant across methods: participant sampling, the virtual
+round clock, transmission metering, periodic evaluation, and the RunResult
+assembly — so method comparisons differ only in the algorithm itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.datasets.core import ClassificationDataset
+from repro.device.device import Device
+from repro.nn.serialization import get_flat_params, set_flat_params
+from repro.simulation.clock import VirtualClock
+from repro.simulation.metrics import MetricsHistory, TransmissionMeter
+from repro.simulation.results import RunResult
+from repro.utils.config import validate_fraction, validate_positive
+from repro.utils.logging import NullLogger, RunLogger
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["ServerConfig", "FederatedServer"]
+
+
+@dataclass
+class ServerConfig:
+    """Settings the paper holds constant across methods (Section 6.1)."""
+
+    rounds: int = 100
+    participation: float = 1.0  # per-device probability of joining a round
+    local_epochs: int = 5  # epochs per training unit
+    eval_every: int = 1  # evaluate the global model every k rounds
+    seed: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_positive(self.rounds, "rounds")
+        validate_fraction(self.participation, "participation")
+        validate_positive(self.local_epochs, "local_epochs")
+        validate_positive(self.eval_every, "eval_every")
+
+
+class FederatedServer:
+    """Template-method FL server on virtual time.
+
+    Subclasses set ``method`` and implement ``run_round(round_idx,
+    participants, global_weights) -> new_global_weights``; they must record
+    their transfers on ``self.meter`` and advance ``self.clock``.
+    """
+
+    method = "base"
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        test_set: ClassificationDataset,
+        config: ServerConfig | None = None,
+        logger: RunLogger | None = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("need at least one device")
+        self.devices = list(devices)
+        self.test_set = test_set
+        self.config = config if config is not None else ServerConfig()
+        self.logger = logger if logger is not None else NullLogger()
+        self.trainer = self.devices[0].trainer
+        for d in self.devices:
+            if d.trainer is not self.trainer:
+                raise ValueError("all devices must share one LocalTrainer")
+        self.meter = TransmissionMeter()
+        self.clock = VirtualClock()
+        self.history = MetricsHistory()
+        self._seeds = SeedSequenceFactory(self.config.seed)
+        self.global_weights = get_flat_params(self.trainer.model)
+        # Optional pluggable selection policy (repro.core.selection);
+        # None = the paper's Bernoulli(participation) sampling below.
+        self.selection_policy = None
+
+    # ---------------------------------------------------------------- hooks
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ machinery
+
+    @property
+    def expected_participants(self) -> float:
+        return self.config.participation * len(self.devices)
+
+    @property
+    def per_round_unit(self) -> float:
+        """Server transfers of one FedAvg round at the same participation:
+        a broadcast down and an upload back for each expected participant."""
+        return 2.0 * self.expected_participants
+
+    def select_participants(self, round_idx: int) -> list[Device]:
+        """Bernoulli(participation) per device, at least one participant.
+
+        The paper: "each device has a 100%, 50%, and 10% chance of
+        participating in the training."
+        """
+        rng = self._seeds.generator(round_idx, 1)
+        if self.selection_policy is not None:
+            return self.selection_policy.select(round_idx, self.devices, rng)
+        p = self.config.participation
+        if p >= 1.0:
+            return list(self.devices)
+        mask = rng.random(len(self.devices)) < p
+        chosen = [d for d, m in zip(self.devices, mask) if m]
+        if not chosen:
+            chosen = [self.devices[rng.integers(len(self.devices))]]
+        return chosen
+
+    def round_duration(self, participants: list[Device]) -> float:
+        """Paper convention: the slowest participant's unit time."""
+        return max(d.unit_time for d in participants)
+
+    def evaluate(self, weights: np.ndarray) -> tuple[float, float]:
+        """(accuracy, loss) of ``weights`` on the held-out test set."""
+        model = self.trainer.model
+        set_flat_params(model, weights)
+        acc = model.accuracy(self.test_set.x, self.test_set.y)
+        loss = model.evaluate_loss(self.test_set.x, self.test_set.y)
+        return acc, loss
+
+    def fit(self, initial_weights: np.ndarray | None = None) -> RunResult:
+        """Run ``config.rounds`` rounds and return the assembled result."""
+        if initial_weights is not None:
+            self.global_weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        cfg = self.config
+        for r in range(1, cfg.rounds + 1):
+            participants = self.select_participants(r)
+            self.global_weights = self.run_round(r, participants, self.global_weights)
+            if r % cfg.eval_every == 0 or r == cfg.rounds:
+                acc, loss = self.evaluate(self.global_weights)
+                self.history.record(
+                    r, self.clock.now, self.meter.server_total, acc, loss
+                )
+                self.logger.log(
+                    round=r,
+                    accuracy=round(acc, 4),
+                    loss=round(loss, 4),
+                    transfers=self.meter.server_total,
+                    vtime=round(self.clock.now, 3),
+                )
+        return RunResult(
+            method=self.method,
+            dataset=self.test_set.name,
+            history=self.history,
+            final_weights=self.global_weights,
+            per_round_unit=self.per_round_unit,
+            config={
+                "rounds": cfg.rounds,
+                "participation": cfg.participation,
+                "local_epochs": cfg.local_epochs,
+                "seed": cfg.seed,
+                **cfg.extra,
+            },
+        )

@@ -1,0 +1,148 @@
+"""Dataset container and batching.
+
+A :class:`ClassificationDataset` is an immutable-by-convention pair of a
+feature array ``x`` (either flat ``(N, D)`` or image ``(N, C, H, W)``) and an
+integer label vector ``y``.  Device shards are *views* onto the parent
+arrays via index selection — no per-device copies of the data (guide: views
+over copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["ClassificationDataset", "DataBatchIterator", "train_test_split"]
+
+
+@dataclass
+class ClassificationDataset:
+    """Features + integer labels + class count."""
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y)
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on N: {self.x.shape[0]} vs {self.y.shape[0]}"
+            )
+        if self.y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {self.y.shape}")
+        if self.num_classes <= 0:
+            raise ValueError(f"num_classes must be positive, got {self.num_classes}")
+        if self.y.size and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def feature_shape(self) -> tuple[int, ...]:
+        """Shape of one sample (without the batch axis)."""
+        return self.x.shape[1:]
+
+    @property
+    def flat_features(self) -> int:
+        """Number of scalar features per sample."""
+        return int(np.prod(self.feature_shape))
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "ClassificationDataset":
+        """Select samples by index (fancy indexing copies; indices stay small)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return ClassificationDataset(
+            self.x[indices],
+            self.y[indices],
+            self.num_classes,
+            name=name if name is not None else self.name,
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of labels (length ``num_classes``)."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    def shuffled(self, seed: int | np.random.Generator | None = 0) -> "ClassificationDataset":
+        """A shuffled copy (used before splitting)."""
+        rng = as_generator(seed)
+        perm = rng.permutation(len(self))
+        return self.subset(perm)
+
+
+@dataclass
+class DataBatchIterator:
+    """Reshuffling mini-batch iterator over a dataset.
+
+    Each epoch reshuffles with its own derived stream so traversal order is
+    reproducible yet differs between epochs.
+    """
+
+    dataset: ClassificationDataset
+    batch_size: int
+    seed: int | np.random.Generator | None = 0
+    drop_last: bool = False
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        self._rng = as_generator(self.seed)
+
+    def epoch(self):
+        """Yield ``(x_batch, y_batch)`` covering the dataset once."""
+        n = len(self.dataset)
+        order = self._rng.permutation(n)
+        stop = n - (n % self.batch_size) if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]
+
+    def num_batches(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)
+
+
+def train_test_split(
+    dataset: ClassificationDataset,
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+    stratified: bool = True,
+) -> tuple[ClassificationDataset, ClassificationDataset]:
+    """Split into train/test; stratified keeps per-class proportions.
+
+    The paper assumes "the data distributions of the training set and test
+    set of overall data are the same" (Section 3.2) — stratification
+    enforces exactly that.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(seed)
+    n = len(dataset)
+    if stratified:
+        test_idx: list[np.ndarray] = []
+        train_idx: list[np.ndarray] = []
+        for k in range(dataset.num_classes):
+            members = np.flatnonzero(dataset.y == k)
+            members = rng.permutation(members)
+            cut = int(round(len(members) * test_fraction))
+            test_idx.append(members[:cut])
+            train_idx.append(members[cut:])
+        test = np.concatenate(test_idx) if test_idx else np.empty(0, dtype=np.intp)
+        train = np.concatenate(train_idx) if train_idx else np.empty(0, dtype=np.intp)
+        test = rng.permutation(test)
+        train = rng.permutation(train)
+    else:
+        perm = rng.permutation(n)
+        cut = int(round(n * test_fraction))
+        test, train = perm[:cut], perm[cut:]
+    return (
+        dataset.subset(train, name=f"{dataset.name}/train"),
+        dataset.subset(test, name=f"{dataset.name}/test"),
+    )

@@ -1,0 +1,53 @@
+"""Name-based dataset construction for experiment configs.
+
+Maps the paper's dataset names onto the synthetic generators with the
+model family and target accuracy each uses in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.core import ClassificationDataset
+from repro.datasets.synthetic import cifar10_like, cifar100_like, emnist_like, mnist_like
+
+__all__ = ["DatasetEntry", "DATASETS", "make_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """Generator plus the experiment metadata tied to a dataset name."""
+
+    factory: Callable[..., ClassificationDataset]
+    model_family: str  # "mlp" (MNIST/EMNIST role) or "cnn" (CIFAR role)
+    paper_target_accuracy: float  # Table 1 target on the real dataset
+    paper_rounds: int  # Table 1 round budget
+
+
+DATASETS: dict[str, DatasetEntry] = {
+    "mnist_like": DatasetEntry(mnist_like, "mlp", 0.96, 100),
+    "emnist_like": DatasetEntry(emnist_like, "mlp", 0.86, 100),
+    "cifar10_like": DatasetEntry(cifar10_like, "cnn", 0.75, 150),
+    "cifar100_like": DatasetEntry(cifar100_like, "cnn", 0.33, 150),
+}
+
+
+def make_dataset(
+    name: str,
+    num_samples: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+    **kwargs,
+) -> ClassificationDataset:
+    """Build the named dataset; ``num_samples`` overrides the default size."""
+    try:
+        entry = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    if num_samples is not None:
+        kwargs["num_samples"] = num_samples
+    return entry.factory(seed=seed, **kwargs)

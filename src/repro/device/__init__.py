@@ -1,0 +1,34 @@
+"""Device substrate: local training, resource heterogeneity, link delays.
+
+A federated *device* couples a data shard with a compute profile.  Compute
+capacity is expressed in **virtual time per local-training unit** (one unit
+= ``local_epochs`` passes over the shard, the paper's 5).  The paper's
+settings map directly:
+
+* "number of epochs ... randomly distributed in [5, 50]" →
+  :func:`~repro.device.heterogeneity.sample_unit_counts` with counts 1..10,
+* "local training ... differs by a maximum of 10 times" → heterogeneity
+  ratio ``H = t_max / t_min = 10``
+  (:func:`~repro.device.heterogeneity.heterogeneity_ratio`).
+"""
+
+from repro.device.device import Device, LocalTrainer, make_devices
+from repro.device.heterogeneity import (
+    heterogeneity_ratio,
+    sample_unit_counts,
+    unit_times_from_counts,
+    unit_times_from_ratio,
+)
+from repro.device.network import LinkDelayModel, UniformDelay
+
+__all__ = [
+    "Device",
+    "LocalTrainer",
+    "make_devices",
+    "sample_unit_counts",
+    "unit_times_from_counts",
+    "unit_times_from_ratio",
+    "heterogeneity_ratio",
+    "LinkDelayModel",
+    "UniformDelay",
+]

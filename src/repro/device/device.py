@@ -1,0 +1,248 @@
+"""Federated device: data shard + compute profile + local SGD.
+
+Memory note: every device stores only its flat weight vector.  A single
+shared model instance per architecture executes all devices' training (the
+simulation is single-threaded), so parameters are swapped in and out via
+the flat-vector serialization — 100 devices cost 100 vectors, not 100
+models (guide: be easy on the memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.core import ClassificationDataset
+from repro.nn.models import Sequential
+from repro.nn.serialization import get_flat_params, set_flat_params
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["LocalTrainer", "Device", "make_devices"]
+
+
+class LocalTrainer:
+    """Runs epochs of mini-batch SGD on a shard, weights-in/weights-out.
+
+    One trainer (and its model template) is shared across all devices of a
+    simulation.  ``train`` optionally applies
+
+    * a FedProx proximal pull toward ``anchor`` with strength ``mu``, and/or
+    * a SCAFFOLD-style additive gradient ``correction`` (flat vector),
+
+    which is how every algorithm in :mod:`repro.baselines` reuses this one
+    code path.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float = 0.1,
+        batch_size: int = 50,
+        seed: int | None = 0,
+        momentum: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.model = model
+        self.lr = lr
+        self.batch_size = batch_size
+        # Heavy-ball momentum, reset at every train() call: a training unit
+        # is a fresh optimization leg on freshly received weights, so no
+        # velocity carries across units (the paper notes momentum [9] can
+        # be combined with FL methods).
+        self.momentum = momentum
+        self._seeds = SeedSequenceFactory(seed)
+        # Pre-computed (start, stop, shape) slices for applying flat
+        # correction vectors directly onto parameter gradients.
+        self._slices: list[tuple[int, int, tuple[int, ...]]] = []
+        offset = 0
+        for p in model.parameters():
+            self._slices.append((offset, offset + p.size, p.shape))
+            offset += p.size
+        self.dim = offset
+
+    def train(
+        self,
+        weights: np.ndarray,
+        shard: ClassificationDataset,
+        epochs: int,
+        stream_key: tuple[int, ...] = (0,),
+        anchor: np.ndarray | None = None,
+        mu: float = 0.0,
+        correction: np.ndarray | None = None,
+        lr: float | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """Train ``epochs`` passes starting from ``weights``.
+
+        Returns ``(new_weights, num_sgd_steps)``.  ``stream_key`` selects
+        the batch-shuffling stream so results are reproducible regardless
+        of device scheduling order.
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if len(shard) == 0:
+            raise ValueError("cannot train on an empty shard")
+        eta = self.lr if lr is None else lr
+        model = self.model
+        set_flat_params(model, weights)
+        params = model.parameters()
+        rng = self._seeds.generator(*stream_key)
+        velocity = (
+            [np.zeros_like(p.data) for p in params] if self.momentum > 0 else None
+        )
+        steps = 0
+        n = len(shard)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                model.zero_grad()
+                model.loss_and_grad(shard.x[idx], shard.y[idx])
+                if correction is not None:
+                    for (lo, hi, shape), p in zip(self._slices, params):
+                        p.grad += correction[lo:hi].reshape(shape)
+                if anchor is not None and mu > 0.0:
+                    for (lo, hi, shape), p in zip(self._slices, params):
+                        p.grad += mu * (p.data - anchor[lo:hi].reshape(shape))
+                if velocity is None:
+                    for p in params:
+                        p.data -= eta * p.grad
+                else:
+                    for v, p in zip(velocity, params):
+                        v *= self.momentum
+                        v += p.grad
+                        p.data -= eta * v
+                steps += 1
+        return get_flat_params(model), steps
+
+    def gradient(
+        self,
+        weights: np.ndarray,
+        shard: ClassificationDataset,
+        batch_indices: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Full-batch (or given-batch) loss gradient at ``weights``, flat."""
+        model = self.model
+        set_flat_params(model, weights)
+        model.zero_grad()
+        if batch_indices is None:
+            model.loss_and_grad(shard.x, shard.y)
+        else:
+            model.loss_and_grad(shard.x[batch_indices], shard.y[batch_indices])
+        out = np.empty(self.dim)
+        for (lo, hi, _), p in zip(self._slices, model.parameters()):
+            out[lo:hi] = p.grad.ravel()
+        return out
+
+
+@dataclass
+class Device:
+    """One federated participant.
+
+    ``buffer`` realizes Algorithm 1's per-device stack B_i: the *back*
+    (last element) is the model the device trains next; ring predecessors
+    push onto it via :meth:`receive`.
+    """
+
+    device_id: int
+    shard: ClassificationDataset
+    unit_time: float
+    trainer: LocalTrainer
+    weights: np.ndarray | None = None
+    buffer: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.unit_time <= 0:
+            raise ValueError(f"unit_time must be positive, got {self.unit_time}")
+        if len(self.shard) == 0:
+            raise ValueError(f"device {self.device_id} has an empty shard")
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.shard)
+
+    def reset_buffer(self, weights: np.ndarray) -> None:
+        """Algorithm 1 lines 8-9: clear B_i and push the round-start model."""
+        self.buffer.clear()
+        self.buffer.append(weights)
+        self.weights = weights
+
+    def receive(self, weights: np.ndarray) -> None:
+        """Ring predecessor (or server) hands over a model."""
+        self.buffer.append(weights)
+
+    def run_unit(
+        self,
+        start_weights: np.ndarray,
+        epochs: int,
+        round_idx: int,
+        unit_idx: int,
+        anchor: np.ndarray | None = None,
+        mu: float = 0.0,
+        correction: np.ndarray | None = None,
+        lr: float | None = None,
+    ) -> np.ndarray:
+        """One local-training unit from explicit start weights.
+
+        Pure compute: buffer choreography (what to train next, what arrived
+        mid-unit) is owned by the simulation engine.  Sets ``self.weights``
+        to the result and returns it.
+        """
+        new_weights, _ = self.trainer.train(
+            start_weights,
+            self.shard,
+            epochs,
+            stream_key=(self.device_id, round_idx, unit_idx),
+            anchor=anchor,
+            mu=mu,
+            correction=correction,
+            lr=lr,
+        )
+        self.weights = new_weights
+        return new_weights
+
+    def train_unit(
+        self,
+        epochs: int,
+        round_idx: int,
+        unit_idx: int,
+        **kwargs,
+    ) -> np.ndarray:
+        """Convenience for sequential (non-event-driven) experiments:
+        train the newest buffered model; the result supersedes the buffer
+        (Algorithm 1's Update-in-place of ``B_i.back()``)."""
+        if not self.buffer:
+            raise RuntimeError(f"device {self.device_id} has an empty buffer")
+        new_weights = self.run_unit(
+            self.buffer[-1], epochs, round_idx, unit_idx, **kwargs
+        )
+        self.buffer.clear()
+        self.buffer.append(new_weights)
+        return new_weights
+
+
+def make_devices(
+    dataset: ClassificationDataset,
+    parts: list[np.ndarray],
+    unit_times: np.ndarray,
+    trainer: LocalTrainer,
+) -> list[Device]:
+    """Assemble one :class:`Device` per partition entry."""
+    if len(parts) != len(unit_times):
+        raise ValueError(
+            f"parts ({len(parts)}) and unit_times ({len(unit_times)}) disagree"
+        )
+    return [
+        Device(
+            device_id=i,
+            shard=dataset.subset(idx, name=f"{dataset.name}/dev{i}"),
+            unit_time=float(unit_times[i]),
+            trainer=trainer,
+        )
+        for i, idx in enumerate(parts)
+    ]

@@ -1,0 +1,93 @@
+"""Resource-heterogeneity models.
+
+Compute capacity is parameterized by the *unit time* ``t_i``: the virtual
+time device ``i`` needs for one local-training unit.  With the round length
+fixed to the slowest device's unit time (the paper's convention), a device
+completes ``floor(R / t_i)`` units per round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "sample_unit_counts",
+    "unit_times_from_counts",
+    "unit_times_from_ratio",
+    "heterogeneity_ratio",
+]
+
+
+def sample_unit_counts(
+    num_devices: int,
+    low: int = 1,
+    high: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Units-per-round for each device, uniform integers in ``[low, high]``.
+
+    The paper's "[5, 50] epochs per round" with 5 epochs per unit is
+    ``low=1, high=10``.  Guarantees both extremes appear when
+    ``num_devices >= 2`` so the realized heterogeneity ratio equals
+    ``high/low`` exactly (the paper's H definition, Eq. 13).
+    """
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    if not 1 <= low <= high:
+        raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+    rng = as_generator(seed)
+    counts = rng.integers(low, high + 1, size=num_devices)
+    if num_devices >= 2 and low < high:
+        # Pin the extremes on two distinct random devices.
+        i, j = rng.choice(num_devices, size=2, replace=False)
+        counts[i] = low
+        counts[j] = high
+    return counts
+
+
+def unit_times_from_counts(counts: np.ndarray, round_length: float = 1.0) -> np.ndarray:
+    """Convert units-per-round into unit times: ``t_i = R / counts_i``."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if np.any(counts < 1):
+        raise ValueError("every device must complete at least one unit per round")
+    if round_length <= 0:
+        raise ValueError("round_length must be positive")
+    return round_length / counts
+
+
+def unit_times_from_ratio(
+    num_devices: int,
+    ratio: float,
+    seed: int | np.random.Generator | None = 0,
+    round_length: float = 1.0,
+) -> np.ndarray:
+    """Unit times with heterogeneity ratio exactly ``H = ratio`` (Eq. 13).
+
+    Speeds (1/t) are uniform in ``[1, ratio]`` with the extremes pinned, so
+    ``t_max / t_min == ratio``.  ``ratio=1`` gives homogeneous devices.
+    """
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    if ratio < 1.0:
+        raise ValueError(f"heterogeneity ratio must be >= 1, got {ratio}")
+    rng = as_generator(seed)
+    speeds = rng.uniform(1.0, ratio, size=num_devices)
+    if num_devices >= 2 and ratio > 1.0:
+        i, j = rng.choice(num_devices, size=2, replace=False)
+        speeds[i] = 1.0
+        speeds[j] = ratio
+    elif ratio == 1.0:
+        speeds[:] = 1.0
+    return round_length / speeds
+
+
+def heterogeneity_ratio(unit_times: np.ndarray) -> float:
+    """The paper's H = l_max / l_min (Eq. 13)."""
+    unit_times = np.asarray(unit_times, dtype=np.float64)
+    if unit_times.size == 0:
+        raise ValueError("unit_times is empty")
+    if np.any(unit_times <= 0):
+        raise ValueError("unit times must be positive")
+    return float(unit_times.max() / unit_times.min())

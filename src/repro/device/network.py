@@ -1,0 +1,47 @@
+"""Device-to-device link-delay models.
+
+The paper defines the ring metric ``M_i = t_i + D_{i,i+1}`` (Eq. 5) and then
+simplifies to equal link delays, reducing it to ``M_i = t_i``.  Both forms
+are supported: :class:`UniformDelay` is the simplified model; a full delay
+matrix generalizes it for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinkDelayModel", "UniformDelay", "MatrixDelay"]
+
+
+class LinkDelayModel:
+    """Interface: virtual-time delay for a model hop between two devices."""
+
+    def delay(self, src: int, dst: int) -> float:
+        raise NotImplementedError
+
+
+class UniformDelay(LinkDelayModel):
+    """Equal delay on every link (the paper's simplification; default 0)."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._delay = delay
+
+    def delay(self, src: int, dst: int) -> float:
+        return self._delay
+
+
+class MatrixDelay(LinkDelayModel):
+    """Arbitrary pairwise delays from a dense matrix ``D[src, dst]``."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"delay matrix must be square, got {matrix.shape}")
+        if np.any(matrix < 0):
+            raise ValueError("delays must be non-negative")
+        self.matrix = matrix
+
+    def delay(self, src: int, dst: int) -> float:
+        return float(self.matrix[src, dst])

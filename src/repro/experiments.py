@@ -1,0 +1,194 @@
+"""High-level experiment assembly: one config object -> one RunResult.
+
+This is the entry point examples and benchmarks use.  An
+:class:`ExperimentSpec` names a dataset, a partition scheme, a
+heterogeneity profile, a model preset and a method; :func:`run_experiment`
+assembles the substrate (data, devices, trainer, server) and runs it on the
+virtual clock.
+
+Reduced-scale defaults: the paper runs 100 devices / 100-150 rounds on a
+GPU fleet; this box has one CPU core.  Specs default to bench-scale values
+and every paper-scale value remains one field away (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.baselines import ALL_BASELINES
+from repro.baselines.fedat import FedATConfig
+from repro.baselines.fedavg import FedAvgConfig
+from repro.baselines.fedprox import FedProxConfig
+from repro.baselines.scaffold import ScaffoldConfig
+from repro.baselines.tafedavg import TAFedAvgConfig
+from repro.baselines.tfedavg import TFedAvgConfig
+from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
+from repro.core.server import FederatedServer, ServerConfig
+from repro.datasets import make_dataset, partition_by_name, train_test_split
+from repro.datasets.core import ClassificationDataset
+from repro.datasets.registry import DATASETS
+from repro.device import LocalTrainer, make_devices, unit_times_from_counts, unit_times_from_ratio
+from repro.device.heterogeneity import sample_unit_counts
+from repro.nn.layers import Flatten
+from repro.nn.models import Sequential, paper_cnn, paper_mlp
+from repro.utils.logging import RunLogger
+
+__all__ = ["ExperimentSpec", "build_model", "build_experiment", "run_experiment", "METHODS"]
+
+METHODS = dict(ALL_BASELINES, fedhisyn=FedHiSynServer)
+
+_METHOD_CONFIGS = {
+    "fedhisyn": FedHiSynConfig,
+    "fedavg": FedAvgConfig,
+    "tfedavg": TFedAvgConfig,
+    "tafedavg": TAFedAvgConfig,
+    "fedprox": FedProxConfig,
+    "fedat": FedATConfig,
+    "scaffold": ScaffoldConfig,
+}
+
+#: Model size presets.  "paper" is the architecture of Section 6.1 verbatim;
+#: "small" shrinks widths for the single-core benchmark budget while keeping
+#: the same depth/structure.
+MODEL_PRESETS: dict[str, dict[str, Any]] = {
+    "paper": {"mlp_hidden": (200, 100), "cnn_channels": 64, "cnn_fc": (394, 192)},
+    "small": {"mlp_hidden": (48, 24), "cnn_channels": 8, "cnn_fc": (48, 24)},
+}
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to reproduce one training run."""
+
+    method: str = "fedhisyn"
+    dataset: str = "mnist_like"
+    num_samples: int = 2000
+    num_devices: int = 20
+    partition: str = "dirichlet"  # "iid" | "dirichlet" | "shard"
+    beta: float = 0.3
+    participation: float = 1.0
+    # Heterogeneity: either unit counts in [units_low, units_high] (paper
+    # mode) or an exact ratio H (Fig. 7 mode, takes precedence if set).
+    units_low: int = 1
+    units_high: int = 10
+    het_ratio: float | None = None
+    rounds: int = 20
+    local_epochs: int = 1
+    lr: float = 0.1
+    batch_size: int = 50
+    eval_every: int = 1
+    model_preset: str = "small"
+    model_family: str | None = None  # default: the dataset registry's family
+    test_fraction: float = 0.2
+    seed: int = 0
+    method_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def with_method(self, method: str, **method_kwargs) -> "ExperimentSpec":
+        """Same experiment, different algorithm — for method comparisons."""
+        return replace(self, method=method, method_kwargs=dict(method_kwargs))
+
+
+def build_model(
+    dataset: ClassificationDataset,
+    family: str,
+    preset: str = "small",
+    seed: int | np.random.Generator | None = 0,
+) -> Sequential:
+    """Construct the paper's model family sized by ``preset``.
+
+    An MLP applied to image data gets a Flatten front; a CNN requires image
+    data.
+    """
+    sizes = MODEL_PRESETS[preset]
+    if family == "mlp":
+        model = paper_mlp(
+            dataset.flat_features,
+            dataset.num_classes,
+            seed=seed,
+            hidden=sizes["mlp_hidden"],
+        )
+        if len(dataset.feature_shape) > 1:
+            model.layers.insert(0, Flatten())
+        return model
+    if family == "cnn":
+        if len(dataset.feature_shape) != 3:
+            raise ValueError("cnn family requires (C, H, W) data")
+        c, h, w = dataset.feature_shape
+        if h != w:
+            raise ValueError(f"cnn expects square images, got {h}x{w}")
+        return paper_cnn(
+            c,
+            h,
+            dataset.num_classes,
+            seed=seed,
+            conv_channels=sizes["cnn_channels"],
+            fc_sizes=sizes["cnn_fc"],
+        )
+    raise ValueError(f"unknown model family {family!r}")
+
+
+def build_experiment(
+    spec: ExperimentSpec, logger: RunLogger | None = None
+) -> FederatedServer:
+    """Assemble dataset, devices, trainer and server for ``spec``."""
+    if spec.method not in METHODS:
+        raise ValueError(f"unknown method {spec.method!r}; known: {sorted(METHODS)}")
+
+    dataset = make_dataset(spec.dataset, num_samples=spec.num_samples, seed=spec.seed)
+    train_set, test_set = train_test_split(
+        dataset, spec.test_fraction, seed=spec.seed + 1
+    )
+
+    parts = partition_by_name(
+        spec.partition,
+        train_set,
+        spec.num_devices,
+        seed=spec.seed + 2,
+        **({"beta": spec.beta} if spec.partition == "dirichlet" else {}),
+    )
+
+    if spec.het_ratio is not None:
+        unit_times = unit_times_from_ratio(
+            spec.num_devices, spec.het_ratio, seed=spec.seed + 3
+        )
+    else:
+        counts = sample_unit_counts(
+            spec.num_devices, spec.units_low, spec.units_high, seed=spec.seed + 3
+        )
+        unit_times = unit_times_from_counts(counts)
+
+    family = spec.model_family or DATASETS[spec.dataset].model_family
+    model = build_model(test_set, family, spec.model_preset, seed=spec.seed + 4)
+    trainer = LocalTrainer(
+        model, lr=spec.lr, batch_size=spec.batch_size, seed=spec.seed + 5
+    )
+    devices = make_devices(train_set, parts, unit_times, trainer)
+
+    config_cls = _METHOD_CONFIGS[spec.method]
+    config = config_cls(
+        rounds=spec.rounds,
+        participation=spec.participation,
+        local_epochs=spec.local_epochs,
+        eval_every=spec.eval_every,
+        seed=spec.seed + 6,
+        **spec.method_kwargs,
+    )
+    server_cls = METHODS[spec.method]
+    return server_cls(devices, test_set, config, logger=logger)
+
+
+def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
+    """Build and run; returns the :class:`~repro.simulation.results.RunResult`."""
+    server = build_experiment(spec, logger=logger)
+    result = server.fit()
+    result.config.update(
+        dataset=spec.dataset,
+        partition=spec.partition,
+        beta=spec.beta if spec.partition == "dirichlet" else None,
+        num_devices=spec.num_devices,
+        model_preset=spec.model_preset,
+    )
+    return result

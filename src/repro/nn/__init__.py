@@ -1,0 +1,60 @@
+"""Pure-NumPy neural-network substrate.
+
+The paper trains PyTorch models; this offline reproduction provides an
+equivalent minimal framework: layer objects with explicit ``forward`` /
+``backward``, softmax cross-entropy loss, SGD-family optimizers, and flat
+parameter-vector serialization so federated-learning code can treat a model
+as a point in :math:`\\mathbb{R}^d`.
+
+Public API
+----------
+- :class:`~repro.nn.layers.Dense`, :class:`~repro.nn.layers.Conv2d`,
+  :class:`~repro.nn.layers.ReLU`, :class:`~repro.nn.layers.MaxPool2d`,
+  :class:`~repro.nn.layers.Flatten`, :class:`~repro.nn.layers.Dropout`
+- :class:`~repro.nn.models.Sequential` plus the paper's two architectures
+  :func:`~repro.nn.models.paper_mlp` and :func:`~repro.nn.models.paper_cnn`
+- :class:`~repro.nn.losses.SoftmaxCrossEntropy`
+- :class:`~repro.nn.optim.SGD`, :class:`~repro.nn.optim.ProximalSGD`
+- :func:`~repro.nn.serialization.get_flat_params`,
+  :func:`~repro.nn.serialization.set_flat_params`
+"""
+
+from repro.nn.tensor import Parameter
+from repro.nn.layers import Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2d, ReLU, Tanh
+from repro.nn.losses import Loss, MSELoss, SoftmaxCrossEntropy
+from repro.nn.models import Sequential, logistic_model, paper_cnn, paper_mlp
+from repro.nn.optim import SGD, ConstantLR, InverseTimeLR, LRSchedule, ProximalSGD
+from repro.nn.serialization import (
+    get_flat_grads,
+    get_flat_params,
+    num_params,
+    set_flat_params,
+)
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "MaxPool2d",
+    "Dropout",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "Sequential",
+    "paper_mlp",
+    "paper_cnn",
+    "logistic_model",
+    "SGD",
+    "ProximalSGD",
+    "LRSchedule",
+    "ConstantLR",
+    "InverseTimeLR",
+    "get_flat_params",
+    "set_flat_params",
+    "get_flat_grads",
+    "num_params",
+]

@@ -1,0 +1,89 @@
+"""Vectorized tensor primitives shared by layers.
+
+``im2col``/``col2im`` turn convolution into one big GEMM — the standard
+CPU-friendly formulation (guide: vectorize loops, lean on BLAS).  Layout is
+NCHW throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["im2col", "col2im", "conv_output_size", "softmax", "log_softmax"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a conv/pool with the given geometry."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns (N*OH*OW, C*kh*kw).
+
+    Row ``i`` holds the receptive field of output pixel ``i`` flattened in
+    (C, kh, kw) order, so ``cols @ W.reshape(F, -1).T`` is the convolution.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    # Gather as strided view then copy once: (N, C, kh, kw, OH, OW).
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold columns back onto (N, C, H, W), accumulating overlaps.
+
+    Exact adjoint of :func:`im2col` (needed for the conv backward pass).
+    """
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    # kh*kw accumulation passes, each fully vectorized over (N, C, OH, OW).
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            out[:, :, i:i_max:stride, j:j_max:stride] += patches[:, :, i, j]
+    if pad > 0:
+        return out[:, :, pad:-pad, pad:-pad]
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,63 @@
+"""Loss functions pairing a scalar value with the logit gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MSELoss"]
+
+
+class Loss:
+    """Interface: ``value`` and ``grad`` of the empirical risk on a batch."""
+
+    def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def grad(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean softmax cross-entropy over integer class targets."""
+
+    def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        self._check(logits, targets)
+        logp = log_softmax(logits, axis=1)
+        n = logits.shape[0]
+        return float(-logp[np.arange(n), targets].mean())
+
+    def grad(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        self._check(logits, targets)
+        n = logits.shape[0]
+        g = softmax(logits, axis=1)
+        g[np.arange(n), targets] -= 1.0
+        g /= n
+        return g
+
+    @staticmethod
+    def _check(logits: np.ndarray, targets: np.ndarray) -> None:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise ValueError(
+                f"targets must be (N,)={logits.shape[0]}, got {targets.shape}"
+            )
+        if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
+            raise ValueError("target class index out of range")
+
+
+class MSELoss(Loss):
+    """Mean squared error (used in convex/analysis examples)."""
+
+    def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.shape != targets.shape:
+            raise ValueError(f"shape mismatch {logits.shape} vs {targets.shape}")
+        diff = logits - targets
+        return float((diff * diff).mean())
+
+    def grad(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        if logits.shape != targets.shape:
+            raise ValueError(f"shape mismatch {logits.shape} vs {targets.shape}")
+        return 2.0 * (logits - targets) / logits.size

@@ -1,0 +1,164 @@
+"""Model containers and the paper's two architectures.
+
+The paper (Section 6.1, "Models"):
+
+* MNIST / EMNIST — fully-connected net with 2 hidden layers of 200 and 100
+  neurons.
+* CIFAR10 / CIFAR100 — CNN with 2 convolutional layers of 64 filters of
+  size 5x5, followed by two fully-connected layers with 394 and 192 neurons
+  and a softmax output.
+
+:func:`paper_cnn` keeps that exact layer structure but accepts the input
+resolution as a parameter, because the offline substrate runs reduced-size
+synthetic images (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.tensor import Parameter
+from repro.utils.rng import as_generator
+
+__all__ = ["Sequential", "paper_mlp", "paper_cnn", "logistic_model"]
+
+
+class Sequential:
+    """A feed-forward stack of layers with a loss head."""
+
+    def __init__(self, layers: list[Layer], loss: Loss | None = None) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One fused training pass: forward, loss, backward.
+
+        Gradients accumulate into the parameters; the caller steps an
+        optimizer afterwards.
+        """
+        logits = self.forward(x, train=True)
+        value = self.loss.value(logits, y)
+        self.backward(self.loss.grad(logits, y))
+        return value
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions without caching activations."""
+        preds = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], train=False)
+            preds.append(logits.argmax(axis=1))
+        return np.concatenate(preds) if preds else np.empty(0, dtype=np.int64)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Top-1 accuracy on (x, y)."""
+        if x.shape[0] == 0:
+            raise ValueError("cannot compute accuracy on an empty set")
+        return float((self.predict(x, batch_size=batch_size) == y).mean())
+
+    def evaluate_loss(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Mean loss over (x, y) without touching gradients."""
+        total = 0.0
+        n = x.shape[0]
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.forward(xb, train=False)
+            total += self.loss.value(logits, yb) * xb.shape[0]
+        return total / n
+
+
+def paper_mlp(
+    in_features: int,
+    num_classes: int,
+    seed: int | np.random.Generator | None = 0,
+    hidden: tuple[int, int] = (200, 100),
+) -> Sequential:
+    """The paper's MNIST/EMNIST model: FC(200) - ReLU - FC(100) - ReLU - FC(C)."""
+    rng = as_generator(seed)
+    h1, h2 = hidden
+    return Sequential(
+        [
+            Dense(in_features, h1, rng=rng, name="fc1"),
+            ReLU(),
+            Dense(h1, h2, rng=rng, name="fc2"),
+            ReLU(),
+            Dense(h2, num_classes, rng=rng, name="head"),
+        ]
+    )
+
+
+def paper_cnn(
+    in_channels: int,
+    image_size: int,
+    num_classes: int,
+    seed: int | np.random.Generator | None = 0,
+    conv_channels: int = 64,
+    kernel_size: int = 5,
+    fc_sizes: tuple[int, int] = (394, 192),
+) -> Sequential:
+    """The paper's CIFAR model: 2x [Conv(64, 5x5) - ReLU - MaxPool(2)] - FC(394) - FC(192) - FC(C).
+
+    Spatial geometry uses SAME padding so any even ``image_size >= 4`` works
+    (the paper used 32x32; the offline benches run smaller inputs).
+    """
+    if image_size % 4 != 0:
+        raise ValueError(
+            f"image_size must be divisible by 4 for two 2x2 pools, got {image_size}"
+        )
+    rng = as_generator(seed)
+    pad = kernel_size // 2
+    s1 = image_size // 2
+    s2 = image_size // 4
+    flat = conv_channels * s2 * s2
+    f1, f2 = fc_sizes
+    return Sequential(
+        [
+            Conv2d(in_channels, conv_channels, kernel_size, padding=pad, rng=rng, name="conv1"),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(conv_channels, conv_channels, kernel_size, padding=pad, rng=rng, name="conv2"),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(flat, f1, rng=rng, name="fc1"),
+            ReLU(),
+            Dense(f1, f2, rng=rng, name="fc2"),
+            ReLU(),
+            Dense(f2, num_classes, rng=rng, name="head"),
+        ]
+    )
+
+
+def logistic_model(
+    in_features: int,
+    num_classes: int,
+    seed: int | np.random.Generator | None = 0,
+) -> Sequential:
+    """Multinomial logistic regression — the strongly-convex objective used
+    to validate the Theorem 5.1 convergence analysis."""
+    rng = as_generator(seed)
+    return Sequential([Dense(in_features, num_classes, rng=rng, name="logit")])

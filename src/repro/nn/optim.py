@@ -1,0 +1,138 @@
+"""SGD-family optimizers and learning-rate schedules.
+
+:class:`ProximalSGD` implements the FedProx device objective
+``F_i(w) + (mu/2)||w - w_anchor||^2`` by adding ``mu (w - w_anchor)`` to every
+step — the anchor is the global model the device received at the start of
+the round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["LRSchedule", "ConstantLR", "InverseTimeLR", "SGD", "ProximalSGD"]
+
+
+class LRSchedule:
+    """Maps a step counter to a learning rate."""
+
+    def rate(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate (the paper uses 0.1 everywhere)."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+
+    def rate(self, step: int) -> float:
+        return self.lr
+
+
+class InverseTimeLR(LRSchedule):
+    """``eta_t = numerator / (offset + t)``.
+
+    With ``numerator = 2/mu`` and ``offset = gamma = max(8L/mu, E)`` this is
+    exactly the schedule of Theorem 5.1 / [Li et al. 2020].
+    """
+
+    def __init__(self, numerator: float, offset: float) -> None:
+        if numerator <= 0 or offset <= 0:
+            raise ValueError("numerator and offset must be positive")
+        self.numerator = numerator
+        self.offset = offset
+
+    def rate(self, step: int) -> float:
+        return self.numerator / (self.offset + step)
+
+
+class SGD:
+    """Plain / momentum SGD over a list of parameters.
+
+    ``step`` consumes accumulated ``Parameter.grad`` buffers and updates
+    ``Parameter.data`` in place; callers zero gradients between batches.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float | LRSchedule = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.params = list(params)
+        self.schedule = lr if isinstance(lr, LRSchedule) else ConstantLR(lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._velocity: list[np.ndarray] | None = (
+            [np.zeros_like(p.data) for p in self.params] if momentum > 0 else None
+        )
+
+    @property
+    def lr(self) -> float:
+        """Learning rate that the *next* step will use."""
+        return self.schedule.rate(self.step_count)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _apply(self, p: Parameter, update: np.ndarray, eta: float, idx: int) -> None:
+        if self._velocity is not None:
+            v = self._velocity[idx]
+            v *= self.momentum
+            v += update
+            update = v
+        p.data -= eta * update
+
+    def step(self) -> None:
+        eta = self.schedule.rate(self.step_count)
+        for i, p in enumerate(self.params):
+            update = p.grad
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            self._apply(p, update, eta, i)
+        self.step_count += 1
+
+
+class ProximalSGD(SGD):
+    """SGD plus the FedProx proximal pull toward an anchor point."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float | LRSchedule = 0.1,
+        mu: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr=lr, momentum=momentum, weight_decay=weight_decay)
+        if mu < 0:
+            raise ValueError(f"mu must be >= 0, got {mu}")
+        self.mu = mu
+        self._anchor: list[np.ndarray] | None = None
+
+    def set_anchor(self) -> None:
+        """Snapshot current parameters as the proximal anchor w_global."""
+        self._anchor = [p.data.copy() for p in self.params]
+
+    def step(self) -> None:
+        if self._anchor is None:
+            raise RuntimeError("call set_anchor() before stepping ProximalSGD")
+        eta = self.schedule.rate(self.step_count)
+        for i, p in enumerate(self.params):
+            update = p.grad + self.mu * (p.data - self._anchor[i])
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            self._apply(p, update, eta, i)
+        self.step_count += 1

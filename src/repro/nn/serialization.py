@@ -1,0 +1,61 @@
+"""Flat parameter-vector view of a model.
+
+Federated-learning algorithms treat a model as a point in R^d: aggregation
+is vector arithmetic, transmission cost is ``d`` floats.  These helpers
+convert between a model's :class:`~repro.nn.tensor.Parameter` list and one
+contiguous float64 vector, in a stable order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["num_params", "get_flat_params", "set_flat_params", "get_flat_grads"]
+
+
+def num_params(model) -> int:
+    """Total number of scalar parameters in ``model``."""
+    return sum(p.size for p in model.parameters())
+
+
+def get_flat_params(model, out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate all parameters into one float64 vector.
+
+    Pass ``out`` to reuse a buffer (hot aggregation loops).
+    """
+    total = num_params(model)
+    if out is None:
+        out = np.empty(total, dtype=np.float64)
+    elif out.shape != (total,):
+        raise ValueError(f"out must have shape ({total},), got {out.shape}")
+    offset = 0
+    for p in model.parameters():
+        out[offset : offset + p.size] = p.data.ravel()
+        offset += p.size
+    return out
+
+
+def set_flat_params(model, flat: np.ndarray) -> None:
+    """Load a flat vector back into the model's parameters (copies data)."""
+    total = num_params(model)
+    flat = np.asarray(flat, dtype=np.float64)
+    if flat.shape != (total,):
+        raise ValueError(f"expected vector of length {total}, got {flat.shape}")
+    offset = 0
+    for p in model.parameters():
+        p.data[...] = flat[offset : offset + p.size].reshape(p.shape)
+        offset += p.size
+
+
+def get_flat_grads(model, out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate all parameter gradients into one float64 vector."""
+    total = num_params(model)
+    if out is None:
+        out = np.empty(total, dtype=np.float64)
+    elif out.shape != (total,):
+        raise ValueError(f"out must have shape ({total},), got {out.shape}")
+    offset = 0
+    for p in model.parameters():
+        out[offset : offset + p.size] = p.grad.ravel()
+        offset += p.size
+    return out

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Everything here runs on **virtual time**: each device advertises a unit
+time (see :mod:`repro.device.heterogeneity`), a round lasts as long as the
+slowest participant's unit (the paper's convention), and async methods pop
+upload events off a queue in time order.  No wall-clock coupling anywhere.
+"""
+
+from repro.simulation.clock import VirtualClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.engine import RingRoundEngine, async_upload_schedule
+from repro.simulation.metrics import MetricsHistory, TransmissionMeter
+from repro.simulation.results import RunResult
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "RingRoundEngine",
+    "async_upload_schedule",
+    "TransmissionMeter",
+    "MetricsHistory",
+    "RunResult",
+]

@@ -1,0 +1,35 @@
+"""Virtual clock: a monotonically advancing simulation time."""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Holds the current virtual time; only moves forward."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to absolute time ``t`` (must not go backwards)."""
+        if t < self._now:
+            raise ValueError(f"clock cannot go backwards: {t} < {self._now}")
+        self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` (non-negative)."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        self._now += float(dt)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now})"

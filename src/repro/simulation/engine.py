@@ -1,0 +1,232 @@
+"""Event-driven execution of one FedHiSyn ring round, plus async schedules.
+
+:class:`RingRoundEngine` realizes Algorithm 1's inner loop (lines 7-16)
+with real virtual-time semantics rather than the paper's lockstep
+pseudocode: each device trains its next unit from the newest model in its
+buffer at unit *start*; models arriving mid-unit are queued and take effect
+on the next unit; every completed unit is forwarded to the ring successor
+after the link delay.
+
+The engine is algorithm-agnostic about what "training" means — it calls
+``device.run_unit`` — so ablations (e.g. averaging instead of direct use)
+plug in via the ``combine`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.device.device import Device
+from repro.device.network import LinkDelayModel, UniformDelay
+from repro.simulation.events import EventQueue
+
+__all__ = ["RingRoundEngine", "RingRoundStats", "async_upload_schedule"]
+
+
+@dataclass
+class RingRoundStats:
+    """What happened during one ring round."""
+
+    units_completed: dict[int, int]
+    peer_sends: int
+    end_time: float
+
+
+def _direct_use(buffered: np.ndarray, own: np.ndarray | None) -> np.ndarray:
+    """Paper default (Observation 1): train the received model directly."""
+    return buffered
+
+
+def _average(buffered: np.ndarray, own: np.ndarray | None) -> np.ndarray:
+    """Ablation: average the received model with the device's own."""
+    if own is None:
+        return buffered
+    return 0.5 * (buffered + own)
+
+
+class RingRoundEngine:
+    """Executes ring-topology rounds over a set of devices.
+
+    Parameters
+    ----------
+    devices:
+        All devices indexed by ``device_id``.
+    delay_model:
+        Link delays for peer hops (paper simplification: uniform 0).
+    epochs_per_unit:
+        Local epochs of one training unit (the paper's 5).
+    combine:
+        How a device merges the newest buffered model with its own before
+        training — ``"direct"`` (paper) or ``"average"`` (Fig. 2 ablation).
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        delay_model: LinkDelayModel | None = None,
+        epochs_per_unit: int = 5,
+        combine: str = "direct",
+        drop_prob: float = 0.0,
+        drop_seed: int = 0,
+    ) -> None:
+        if epochs_per_unit <= 0:
+            raise ValueError("epochs_per_unit must be positive")
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.devices = list(devices)
+        self.delay_model = delay_model if delay_model is not None else UniformDelay(0.0)
+        self.epochs_per_unit = epochs_per_unit
+        combiners: dict[str, Callable] = {"direct": _direct_use, "average": _average}
+        if combine not in combiners:
+            raise ValueError(f"combine must be one of {sorted(combiners)}")
+        self._combine = combiners[combine]
+        # Failure injection: each peer hop is independently lost with
+        # probability drop_prob.  A lost hop is harmless to liveness —
+        # the successor simply continues its own model (Eq. 7).
+        self.drop_prob = drop_prob
+        self._drop_rng = np.random.default_rng(drop_seed)
+        self.dropped_sends = 0
+
+    def run_round(
+        self,
+        rings: Sequence[Sequence[int]],
+        global_weights: np.ndarray | dict[int, np.ndarray],
+        duration: float,
+        round_idx: int = 0,
+    ) -> RingRoundStats:
+        """One round: every listed device starts from ``global_weights``,
+        trains/forwards along its ring until ``duration`` elapses.
+
+        ``global_weights`` is either one vector broadcast to everyone
+        (FedHiSyn's server round) or a per-device-id dict (decentralized
+        continuation, used by the Section 3 observation experiments).
+
+        Every device completes at least one unit (Algorithm 1 line 11
+        enters the loop whenever the remaining budget is positive).  After
+        the call each device's ``weights`` holds its last trained model —
+        the vector it would upload to the server.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        participants = [d for ring in rings for d in ring]
+        if len(set(participants)) != len(participants):
+            raise ValueError("a device appears in more than one ring position")
+
+        successor: dict[int, int] = {}
+        for ring in rings:
+            if not ring:
+                continue
+            for pos, dev in enumerate(ring):
+                successor[dev] = ring[(pos + 1) % len(ring)]
+
+        by_id = {d.device_id: d for d in self.devices}
+        # Per-device mutable state for the event loop.
+        units_done = {i: 0 for i in participants}
+        units_budget: dict[int, int] = {}
+        unit_start_model: dict[int, np.ndarray] = {}
+
+        queue = EventQueue()
+        for dev_id in participants:
+            dev = by_id[dev_id]
+            if isinstance(global_weights, dict):
+                dev.reset_buffer(global_weights[dev_id])
+            else:
+                dev.reset_buffer(global_weights)
+            # floor(duration / t_i) units, minimum one (Alg 1 line 11).
+            budget = max(1, int(duration / dev.unit_time + 1e-9))
+            units_budget[dev_id] = budget
+            unit_start_model[dev_id] = dev.buffer[-1]
+            dev.buffer.clear()  # engine owns the "arrived mid-unit" queue
+            queue.push(dev.unit_time, "complete", dev_id)
+
+        peer_sends = 0
+        end_time = 0.0
+        while queue:
+            # Drain every event sharing the earliest timestamp as one batch:
+            # with zero link delay a model completed at time t must be
+            # available to the unit its successor *starts* at time t — the
+            # lockstep rotation of Algorithm 1's synchronous loop.
+            now = queue.peek().time
+            end_time = max(end_time, now)
+            completed: list[int] = []
+            while queue and queue.peek().time == now:
+                ev = queue.pop()
+                if ev.kind == "deliver":
+                    dst, weights = ev.payload
+                    by_id[dst].receive(weights)
+                else:
+                    completed.append(ev.payload)
+
+            # Phase 1: train every unit that completed at `now` (each uses
+            # the start model fixed when its unit began).
+            instant: list[tuple[int, np.ndarray]] = []
+            for dev_id in completed:
+                dev = by_id[dev_id]
+                unit_idx = units_done[dev_id]
+                start = self._combine(unit_start_model[dev_id], dev.weights)
+                trained = dev.run_unit(
+                    start, self.epochs_per_unit, round_idx, unit_idx
+                )
+                units_done[dev_id] = unit_idx + 1
+                succ = successor[dev_id]
+                if succ != dev_id:  # singleton rings do not self-send
+                    peer_sends += 1
+                    if self.drop_prob and self._drop_rng.random() < self.drop_prob:
+                        self.dropped_sends += 1
+                    else:
+                        delay = self.delay_model.delay(dev_id, succ)
+                        if delay == 0.0:
+                            instant.append((succ, trained))
+                        else:
+                            queue.push(now + delay, "deliver", (succ, trained))
+
+            # Phase 2: zero-delay hops land before anyone starts a new unit.
+            for dst, weights in instant:
+                by_id[dst].receive(weights)
+
+            # Phase 3: schedule next units — newest arrival wins, else the
+            # device continues its own model (Eq. 7).
+            for dev_id in completed:
+                dev = by_id[dev_id]
+                if units_done[dev_id] < units_budget[dev_id]:
+                    nxt = dev.buffer[-1] if dev.buffer else dev.weights
+                    dev.buffer.clear()
+                    unit_start_model[dev_id] = nxt
+                    queue.push(now + dev.unit_time, "complete", dev_id)
+
+        return RingRoundStats(
+            units_completed=units_done, peer_sends=peer_sends, end_time=end_time
+        )
+
+
+def async_upload_schedule(
+    unit_times: dict[int, float] | Sequence[float],
+    horizon: float,
+) -> list[tuple[float, int]]:
+    """Upload times for continuously training devices over ``[0, horizon]``.
+
+    Device ``i`` uploads at ``k * t_i`` for ``k = 1..floor(horizon / t_i)``
+    — the arrival process of TAFedAvg and of FedAT's tier updates.  Returns
+    ``(time, device_id)`` sorted by time (ties by device id), and
+    guarantees every device appears at least once (the slowest device's
+    single upload defines the horizon in the paper's setup).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if isinstance(unit_times, dict):
+        items = sorted(unit_times.items())
+    else:
+        items = list(enumerate(unit_times))
+    if not items:
+        return []
+    schedule: list[tuple[float, int]] = []
+    for dev_id, t in items:
+        if t <= 0:
+            raise ValueError(f"unit time for device {dev_id} must be positive")
+        k_max = max(1, int(horizon / t + 1e-9))
+        schedule.extend((k * t, dev_id) for k in range(1, k_max + 1))
+    schedule.sort(key=lambda pair: (pair[0], pair[1]))
+    return schedule

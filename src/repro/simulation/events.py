@@ -1,0 +1,58 @@
+"""Time-ordered event queue.
+
+Ties on the timestamp break by insertion order (a monotone sequence
+number), making simulations deterministic independent of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence: compare by (time, seq)."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at absolute virtual time ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        ev = Event(time=float(time), seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

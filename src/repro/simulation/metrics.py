@@ -1,0 +1,133 @@
+"""Communication accounting and accuracy tracking.
+
+The paper's headline efficiency metric is "the number of transmitted
+models between devices and the server to achieve certain target accuracy"
+(Section 6.1), reported *relative to the transfers of one FedAvg round*
+(Table 1 caption).  :class:`TransmissionMeter` counts raw model transfers,
+:class:`MetricsHistory` records (round, virtual time, cumulative transfers,
+accuracy) and answers cost-to-target queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TransmissionMeter", "MetricsHistory"]
+
+
+class TransmissionMeter:
+    """Counts model transfers by channel.
+
+    ``server_down``/``server_up`` are device<->server transfers — the
+    paper's costed channel.  ``peer`` counts device-to-device ring hops,
+    which the paper treats as free but which we record anyway (they are the
+    quantity "traded" for server communication in the design principle).
+    ``model_units`` scales entries that cost more than one model — SCAFFOLD
+    uploads model + control variate, i.e. 2 units (Section 6.1, Metrics).
+    """
+
+    def __init__(self) -> None:
+        self.server_down = 0.0
+        self.server_up = 0.0
+        self.peer = 0.0
+
+    def record_download(self, count: int = 1, model_units: float = 1.0) -> None:
+        if count < 0 or model_units < 0:
+            raise ValueError("counts must be non-negative")
+        self.server_down += count * model_units
+
+    def record_upload(self, count: int = 1, model_units: float = 1.0) -> None:
+        if count < 0 or model_units < 0:
+            raise ValueError("counts must be non-negative")
+        self.server_up += count * model_units
+
+    def record_peer(self, count: int = 1, model_units: float = 1.0) -> None:
+        if count < 0 or model_units < 0:
+            raise ValueError("counts must be non-negative")
+        self.peer += count * model_units
+
+    @property
+    def server_total(self) -> float:
+        """Total device<->server transfers (the Table 1 quantity)."""
+        return self.server_down + self.server_up
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "server_down": self.server_down,
+            "server_up": self.server_up,
+            "server_total": self.server_total,
+            "peer": self.peer,
+        }
+
+
+@dataclass
+class MetricsHistory:
+    """Per-round records of one training run."""
+
+    rounds: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    server_transfers: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        round_idx: int,
+        time: float,
+        server_transfers: float,
+        accuracy: float,
+        loss: float = float("nan"),
+    ) -> None:
+        if self.rounds and round_idx <= self.rounds[-1]:
+            raise ValueError("round indices must be strictly increasing")
+        if self.server_transfers and server_transfers < self.server_transfers[-1]:
+            raise ValueError("cumulative transfers cannot decrease")
+        self.rounds.append(round_idx)
+        self.times.append(time)
+        self.server_transfers.append(server_transfers)
+        self.accuracies.append(accuracy)
+        self.losses.append(loss)
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError("empty history")
+        return self.accuracies[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError("empty history")
+        return max(self.accuracies)
+
+    def rounds_to_target(self, target: float) -> int | None:
+        """First recorded round index reaching ``target`` accuracy, else None."""
+        for r, a in zip(self.rounds, self.accuracies):
+            if a >= target:
+                return r
+        return None
+
+    def transfers_to_target(self, target: float) -> float | None:
+        """Cumulative server transfers when ``target`` is first reached."""
+        for t, a in zip(self.server_transfers, self.accuracies):
+            if a >= target:
+                return t
+        return None
+
+    def relative_cost_to_target(self, target: float, per_round_unit: float) -> float | None:
+        """Table 1's metric: transfers-to-target / transfers-per-FedAvg-round."""
+        if per_round_unit <= 0:
+            raise ValueError("per_round_unit must be positive")
+        t = self.transfers_to_target(target)
+        return None if t is None else t / per_round_unit
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "rounds": np.asarray(self.rounds),
+            "times": np.asarray(self.times),
+            "server_transfers": np.asarray(self.server_transfers),
+            "accuracies": np.asarray(self.accuracies),
+            "losses": np.asarray(self.losses),
+        }

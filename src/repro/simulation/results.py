@@ -1,0 +1,61 @@
+"""Run-result record shared by all algorithms and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.simulation.metrics import MetricsHistory
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one federated training run.
+
+    ``per_round_unit`` is the number of server transfers a single FedAvg
+    round with the same participant count would perform; Table 1 reports
+    costs relative to it.
+    """
+
+    method: str
+    dataset: str
+    history: MetricsHistory
+    final_weights: np.ndarray
+    per_round_unit: float
+    config: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history.final_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        return self.history.best_accuracy
+
+    def cost_to_target(self, target: float) -> float | None:
+        """Relative transmission cost to reach ``target`` (Table 1 cells)."""
+        return self.history.relative_cost_to_target(target, self.per_round_unit)
+
+    def table_cell(self, target: float) -> str:
+        """Render the Table 1 cell: "cost(final%)" with X for unreached."""
+        cost = self.cost_to_target(target)
+        acc = self.final_accuracy * 100.0
+        if cost is None:
+            return f"X({acc:.2f}%)"
+        return f"{cost:.1f}({acc:.2f}%)"
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "total_server_transfers": (
+                self.history.server_transfers[-1] if self.history.server_transfers else 0.0
+            ),
+            "rounds": len(self.history.rounds),
+        }

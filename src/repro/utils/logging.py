@@ -1,0 +1,58 @@
+"""Lightweight structured logging for simulation runs.
+
+A :class:`RunLogger` accumulates per-round records in memory (cheap append of
+plain dicts) and can render them as text tables.  It deliberately does not
+use :mod:`logging` handlers: benchmark loops call it millions of times and a
+plain list append is an order of magnitude cheaper than a formatted emit.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = ["RunLogger", "NullLogger"]
+
+
+class RunLogger:
+    """Accumulates structured per-round records for one simulation run."""
+
+    def __init__(self, name: str = "run", stream: TextIO | None = None, verbose: bool = False):
+        self.name = name
+        self.records: list[dict[str, Any]] = []
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+        self._t0 = time.perf_counter()
+
+    def log(self, **fields: Any) -> None:
+        """Append one record; echo it when ``verbose``."""
+        fields.setdefault("wall_s", round(time.perf_counter() - self._t0, 3))
+        self.records.append(fields)
+        if self.verbose:
+            parts = " ".join(f"{k}={v}" for k, v in fields.items())
+            print(f"[{self.name}] {parts}", file=self.stream)
+
+    def column(self, key: str) -> list[Any]:
+        """Extract one field across all records (missing entries skipped)."""
+        return [r[key] for r in self.records if key in r]
+
+    def last(self, key: str, default: Any = None) -> Any:
+        """The most recent value logged under ``key``."""
+        for record in reversed(self.records):
+            if key in record:
+                return record[key]
+        return default
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullLogger(RunLogger):
+    """A logger that drops everything — for hot benchmark loops."""
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+
+    def log(self, **fields: Any) -> None:  # noqa: D102 - intentionally empty
+        pass

@@ -1,0 +1,48 @@
+"""Terminal sparklines for accuracy/loss curves.
+
+No plotting stack is available offline; a Unicode sparkline is enough to
+eyeball convergence curves in CLI output and bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["sparkline", "labelled_curve"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render ``values`` as one character per point.
+
+    ``lo``/``hi`` pin the scale (e.g. 0..1 for accuracies); by default the
+    data's own range is used.  Constant data renders at mid height.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else float(lo)
+    hi = max(vals) if hi is None else float(hi)
+    if hi < lo:
+        raise ValueError(f"hi ({hi}) must be >= lo ({lo})")
+    span = hi - lo
+    if span == 0:
+        return _BARS[len(_BARS) // 2] * len(vals)
+    out = []
+    top = len(_BARS) - 1
+    for v in vals:
+        frac = (min(max(v, lo), hi) - lo) / span
+        out.append(_BARS[round(frac * top)])
+    return "".join(out)
+
+
+def labelled_curve(label: str, values: Sequence[float],
+                   lo: float | None = 0.0, hi: float | None = 1.0) -> str:
+    """``label  ▁▂▄▆█  0.123 -> 0.789`` one-liner for logs."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{label}: (no data)"
+    return (f"{label:14s} {sparkline(vals, lo, hi)} "
+            f"{vals[0]:.3f} -> {vals[-1]:.3f}")

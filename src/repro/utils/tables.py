@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's Table 1 and figures
+report; this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: Any, float_fmt: str = "{:.2f}") -> str:
+    """Render a single table value (floats formatted, None blank)."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_fmt: str = "{:.2f}",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have the same arity as headers")
+    cells = [[format_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Tests for the Theorem 5.1 convergence machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    fedavg_theory_lr,
+    gamma_heterogeneity,
+    ring_gradient_norm_bound,
+    theorem51_bound,
+)
+
+
+class TestGammaHeterogeneity:
+    def test_iid_zero(self):
+        # all devices share the global optimum: F* == mean F_i*
+        assert gamma_heterogeneity(1.0, np.array([1.0, 1.0, 1.0])) == 0.0
+
+    def test_noniid_positive(self):
+        assert gamma_heterogeneity(1.0, np.array([0.2, 0.4])) == pytest.approx(0.7)
+
+    def test_custom_weights(self):
+        g = gamma_heterogeneity(1.0, np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert g == pytest.approx(1.0)
+
+    def test_numerical_negative_clamped(self):
+        assert gamma_heterogeneity(1.0, np.array([1.0 + 1e-12])) == 0.0
+
+    def test_bad_weights_raise(self):
+        with pytest.raises(ValueError):
+            gamma_heterogeneity(1.0, np.array([0.5, 0.5]), np.array([0.5, 0.6]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            gamma_heterogeneity(1.0, np.array([]))
+
+
+class TestTheorem51Bound:
+    def test_decreasing_in_rounds(self):
+        bounds = [
+            theorem51_bound(4.0, 1.0, 0.5, 1.0, rounds=r) for r in (1, 10, 100, 1000)
+        ]
+        assert all(a > b for a, b in zip(bounds, bounds[1:]))
+
+    def test_vanishes_asymptotically(self):
+        assert theorem51_bound(4.0, 1.0, 0.5, 1.0, rounds=10**9) < 1e-6
+
+    def test_monotone_in_gamma(self):
+        """Smaller Gamma (FedHiSyn's claim) -> tighter bound."""
+        tight = theorem51_bound(4.0, 1.0, 0.1, 1.0, rounds=50)
+        loose = theorem51_bound(4.0, 1.0, 1.0, 1.0, rounds=50)
+        assert tight < loose
+
+    def test_monotone_in_init_distance(self):
+        near = theorem51_bound(4.0, 1.0, 0.5, 0.1, rounds=50)
+        far = theorem51_bound(4.0, 1.0, 0.5, 10.0, rounds=50)
+        assert near < far
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(smoothness=0.0),
+            dict(strong_convexity=0.0),
+            dict(smoothness=0.5, strong_convexity=1.0),  # L < mu
+            dict(gamma_noniid=-1.0),
+            dict(init_distance_sq=-1.0),
+            dict(rounds=0),
+        ],
+    )
+    def test_invalid_raises(self, kwargs):
+        base = dict(smoothness=4.0, strong_convexity=1.0, gamma_noniid=0.5,
+                    init_distance_sq=1.0, rounds=10)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            theorem51_bound(**base)
+
+    def test_bound_holds_on_quadratic_sgd(self):
+        """Sanity: full-gradient descent on a strongly convex quadratic
+        stays below the theorem's bound (the bound is loose)."""
+        rng = np.random.default_rng(0)
+        # F(w) = 0.5 w' A w with eigenvalues in [mu, L]
+        mu_, L_ = 1.0, 4.0
+        eigs = np.linspace(mu_, L_, 5)
+        q, _ = np.linalg.qr(rng.normal(size=(5, 5)))
+        A = q @ np.diag(eigs) @ q.T
+        w = rng.normal(size=5)
+        w_star = np.zeros(5)
+        init_d2 = float(np.sum((w - w_star) ** 2))
+        sched = fedavg_theory_lr(L_, mu_)
+        for t in range(200):
+            w = w - sched.rate(t) * (A @ w)
+        f_final = 0.5 * w @ A @ w
+        bound = theorem51_bound(L_, mu_, 0.0, init_d2, rounds=200)
+        assert f_final <= bound + 1e-9
+
+
+class TestRingGradientBound:
+    def test_lemma_values(self):
+        assert ring_gradient_norm_bound(3, 2.0) == 4.0
+        assert ring_gradient_norm_bound(1, 2.0) == 2.0  # floor at G^2
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            ring_gradient_norm_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            ring_gradient_norm_bound(2, -1.0)
+
+
+class TestTheoryLR:
+    def test_schedule_form(self):
+        sched = fedavg_theory_lr(4.0, 1.0, local_epochs=1)
+        # gamma = max(8*4, 1) = 32; eta_0 = 2/(1*32)
+        np.testing.assert_allclose(sched.rate(0), 2.0 / 32.0)
+
+    def test_local_epochs_floor(self):
+        sched = fedavg_theory_lr(1.0, 1.0, local_epochs=100)
+        np.testing.assert_allclose(sched.rate(0), 2.0 / 100.0)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            fedavg_theory_lr(0.0, 1.0)

@@ -1,0 +1,96 @@
+"""Tests for TAFedAvg and FedAT (the asynchronous baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fedat import FedATConfig, FedATServer
+from repro.baselines.tafedavg import TAFedAvgConfig, TAFedAvgServer
+
+
+class TestTAFedAvg:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            TAFedAvgConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            TAFedAvgConfig(alpha=1.5)
+
+    def test_learns(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        result = TAFedAvgServer(
+            tiny_devices, test_set,
+            TAFedAvgConfig(rounds=6, local_epochs=1, alpha=0.2),
+        ).fit()
+        assert result.final_accuracy > 1.5 / test_set.num_classes
+
+    def test_more_transfers_than_sync(self, tiny_devices, tiny_split):
+        """Fast devices upload several times per round — async costs more
+        server traffic than one down+up per participant."""
+        _, test_set = tiny_split
+        srv = TAFedAvgServer(tiny_devices, test_set,
+                             TAFedAvgConfig(rounds=2, local_epochs=1))
+        result = srv.fit()
+        sync_cost = 2 * 2 * len(tiny_devices)
+        assert result.history.server_transfers[-1] > sync_cost
+
+    def test_upload_count_matches_schedule(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        from repro.simulation.engine import async_upload_schedule
+
+        srv = TAFedAvgServer(tiny_devices, test_set,
+                             TAFedAvgConfig(rounds=1, local_epochs=1))
+        srv.fit()
+        duration = max(d.unit_time for d in tiny_devices)
+        expected_uploads = len(
+            async_upload_schedule({d.device_id: d.unit_time for d in tiny_devices},
+                                  duration)
+        )
+        assert srv.meter.server_up == expected_uploads
+
+    def test_mixing_moves_global(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = TAFedAvgServer(tiny_devices, test_set,
+                             TAFedAvgConfig(local_epochs=1, alpha=0.5))
+        g = srv.global_weights.copy()
+        new = srv.run_round(1, tiny_devices, g)
+        assert not np.allclose(new, g)
+
+
+class TestFedAT:
+    def test_tier_validation(self):
+        with pytest.raises(ValueError):
+            FedATConfig(num_tiers=0)
+
+    def test_learns(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        result = FedATServer(
+            tiny_devices, test_set,
+            FedATConfig(rounds=6, local_epochs=1, num_tiers=3),
+        ).fit()
+        assert result.final_accuracy > 1.5 / test_set.num_classes
+
+    def test_fast_tier_updates_more_often(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedATServer(tiny_devices, test_set,
+                          FedATConfig(rounds=1, local_epochs=1, num_tiers=3))
+        srv.fit()
+        counts = srv._tier_update_counts
+        # tier 0 is fastest (unit time 0.25), tier max is slowest (1.0)
+        assert counts[0] > counts[max(counts)]
+
+    def test_cross_tier_weights_favor_slow(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedATServer(tiny_devices, test_set,
+                          FedATConfig(local_epochs=1, num_tiers=2))
+        dim = srv.trainer.dim
+        srv._tier_models = {0: np.zeros(dim), 1: np.ones(dim)}
+        srv._tier_update_counts = {0: 10, 1: 1}  # tier 0 updated often
+        agg = srv._cross_tier_average(np.full(dim, 0.5))
+        # slow tier (value 1) dominates: weight 10 vs 1.
+        assert np.all(agg > 0.5)
+
+    def test_single_tier_degenerates_to_sync(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedATServer(tiny_devices, test_set,
+                          FedATConfig(rounds=1, local_epochs=1, num_tiers=1))
+        result = srv.fit()
+        assert np.isfinite(result.final_weights).all()

@@ -1,0 +1,116 @@
+"""Tests for FedAvg, TFedAvg and FedProx."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fedavg import FedAvgConfig, FedAvgServer
+from repro.baselines.fedprox import FedProxConfig, FedProxServer
+from repro.baselines.tfedavg import TFedAvgConfig, TFedAvgServer
+
+
+class TestFedAvg:
+    def test_learns(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedAvgServer(tiny_devices, test_set,
+                           FedAvgConfig(rounds=6, local_epochs=1))
+        result = srv.fit()
+        assert result.final_accuracy > 1.5 / test_set.num_classes
+
+    def test_fast_devices_train_more(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedAvgServer(tiny_devices, test_set, FedAvgConfig(local_epochs=2))
+        duration = srv.round_duration(tiny_devices)
+        fast = min(tiny_devices, key=lambda d: d.unit_time)
+        slow = max(tiny_devices, key=lambda d: d.unit_time)
+        assert srv.local_epochs_for(fast, duration) > srv.local_epochs_for(slow, duration)
+        assert srv.local_epochs_for(slow, duration) == 2
+
+    def test_transfer_accounting(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedAvgServer(tiny_devices, test_set,
+                           FedAvgConfig(rounds=3, local_epochs=1))
+        result = srv.fit()
+        assert result.history.server_transfers[-1] == 3 * 2 * len(tiny_devices)
+
+    def test_aggregate_is_convex_combination(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = FedAvgServer(tiny_devices, test_set, FedAvgConfig(local_epochs=1))
+        g = srv.global_weights.copy()
+        new = srv.run_round(1, tiny_devices, g)
+        stack = np.stack([d.weights for d in tiny_devices])
+        assert np.all(new >= stack.min(axis=0) - 1e-12)
+        assert np.all(new <= stack.max(axis=0) + 1e-12)
+
+
+class TestTFedAvg:
+    def test_every_device_exactly_one_unit(self, tiny_devices, tiny_split):
+        """Synchronous: identical local work regardless of speed."""
+        _, test_set = tiny_split
+        srv = TFedAvgServer(tiny_devices, test_set,
+                            TFedAvgConfig(rounds=1, local_epochs=1))
+        g = srv.global_weights.copy()
+        srv.run_round(1, tiny_devices, g)
+        # same shard sizes & epochs -> weights differ only via data/stream;
+        # verify stragglers were NOT given extra epochs by re-running one
+        # device manually with exactly local_epochs.
+        dev = tiny_devices[2]  # the fastest in the fixture
+        expected = dev.trainer.train(
+            g, dev.shard, 1, stream_key=(dev.device_id, 1, 0)
+        )[0]
+        np.testing.assert_array_equal(dev.weights, expected)
+
+    def test_clock_waits_for_straggler(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = TFedAvgServer(tiny_devices, test_set,
+                            TFedAvgConfig(rounds=2, local_epochs=1))
+        srv.fit()
+        assert srv.clock.now == pytest.approx(
+            2 * max(d.unit_time for d in tiny_devices)
+        )
+
+    def test_learns(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        result = TFedAvgServer(
+            tiny_devices, test_set, TFedAvgConfig(rounds=6, local_epochs=1)
+        ).fit()
+        assert result.final_accuracy > 1.5 / test_set.num_classes
+
+
+class TestFedProx:
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            FedProxConfig(mu=-0.1)
+
+    def test_learns(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        result = FedProxServer(
+            tiny_devices, test_set, FedProxConfig(rounds=6, local_epochs=1, mu=0.01)
+        ).fit()
+        assert result.final_accuracy > 1.5 / test_set.num_classes
+
+    def test_large_mu_stays_near_global(self, tiny_devices, tiny_split):
+        """Strong proximal term keeps local models near the broadcast."""
+        _, test_set = tiny_split
+        g = None
+        drifts = {}
+        # mu must keep eta*mu < 1 for a stable proximal pull (lr = 0.1).
+        for mu in (0.0, 5.0):
+            srv = FedProxServer(tiny_devices, test_set,
+                                FedProxConfig(local_epochs=1, mu=mu))
+            g = srv.global_weights.copy()
+            srv.run_round(1, tiny_devices, g)
+            drifts[mu] = np.mean(
+                [np.linalg.norm(d.weights - g) for d in tiny_devices]
+            )
+        assert drifts[5.0] < drifts[0.0]
+
+    def test_mu_zero_matches_fedavg(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        g0 = np.zeros(tiny_devices[0].trainer.dim)
+        prox = FedProxServer(tiny_devices, test_set,
+                             FedProxConfig(local_epochs=1, mu=0.0, seed=1))
+        w_prox = prox.run_round(1, tiny_devices, g0)
+        avg = FedAvgServer(tiny_devices, test_set,
+                           FedAvgConfig(local_epochs=1, seed=1))
+        w_avg = avg.run_round(1, tiny_devices, g0)
+        np.testing.assert_allclose(w_prox, w_avg)

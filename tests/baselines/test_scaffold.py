@@ -1,0 +1,81 @@
+"""Tests for the SCAFFOLD baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scaffold import ScaffoldConfig, ScaffoldServer
+
+
+class TestScaffold:
+    def test_global_lr_validation(self):
+        with pytest.raises(ValueError):
+            ScaffoldConfig(global_lr=0.0)
+
+    def test_learns(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        result = ScaffoldServer(
+            tiny_devices, test_set, ScaffoldConfig(rounds=6, local_epochs=1)
+        ).fit()
+        assert result.final_accuracy > 1.5 / test_set.num_classes
+
+    def test_double_transfer_cost(self, tiny_devices, tiny_split):
+        """Model + control variate = 2 model units each way (Section 6.1)."""
+        _, test_set = tiny_split
+        srv = ScaffoldServer(tiny_devices, test_set,
+                             ScaffoldConfig(rounds=2, local_epochs=1))
+        result = srv.fit()
+        assert result.history.server_transfers[-1] == 2 * 2 * 2 * len(tiny_devices)
+
+    def test_variates_initialized_zero(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = ScaffoldServer(tiny_devices, test_set, ScaffoldConfig())
+        np.testing.assert_array_equal(srv.server_variate, 0.0)
+        for v in srv.device_variates.values():
+            np.testing.assert_array_equal(v, 0.0)
+
+    def test_variates_update_after_round(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = ScaffoldServer(tiny_devices, test_set,
+                             ScaffoldConfig(local_epochs=1))
+        g = srv.global_weights.copy()
+        srv.run_round(1, tiny_devices, g)
+        assert np.abs(srv.server_variate).sum() > 0
+        for d in tiny_devices:
+            assert np.abs(srv.device_variates[d.device_id]).sum() > 0
+
+    def test_variate_mean_invariant(self, tiny_devices, tiny_split):
+        """Server variate equals the participation-weighted mean shift:
+        after a full-participation round, c == mean_i(c_i)."""
+        _, test_set = tiny_split
+        srv = ScaffoldServer(tiny_devices, test_set,
+                             ScaffoldConfig(local_epochs=1))
+        g = srv.global_weights.copy()
+        srv.run_round(1, tiny_devices, g)
+        mean_ci = np.mean(
+            [srv.device_variates[d.device_id] for d in tiny_devices], axis=0
+        )
+        np.testing.assert_allclose(srv.server_variate, mean_ci, rtol=1e-8, atol=1e-12)
+
+    def test_first_round_matches_uniform_fedavg_direction(
+        self, tiny_devices, tiny_split
+    ):
+        """With zero variates the first round is plain (uniformly averaged)
+        FedAvg: corrections cancel."""
+        _, test_set = tiny_split
+        srv = ScaffoldServer(tiny_devices, test_set,
+                             ScaffoldConfig(local_epochs=1, seed=2))
+        g = np.zeros(srv.trainer.dim)
+        duration = srv.round_duration(tiny_devices)
+        new = srv.run_round(1, tiny_devices, g)
+        stack = np.stack(
+            [
+                d.trainer.train(
+                    g,
+                    d.shard,
+                    srv.local_epochs_for(d, duration),
+                    stream_key=(d.device_id, 1, 0),
+                )[0]
+                for d in tiny_devices
+            ]
+        )
+        np.testing.assert_allclose(new, stack.mean(axis=0), rtol=1e-8, atol=1e-12)

@@ -1,0 +1,104 @@
+"""Aggregation tests including convex-combination properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    class_time_weighted_average,
+    sample_weighted_average,
+    uniform_average,
+    weighted_average,
+)
+
+
+class TestUniformAverage:
+    def test_mean(self):
+        stack = np.array([[0.0, 2.0], [2.0, 4.0]])
+        np.testing.assert_allclose(uniform_average(stack), [1.0, 3.0])
+
+    def test_single_model_identity(self):
+        stack = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(uniform_average(stack), stack[0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            uniform_average(np.empty((0, 3)))
+
+    def test_1d_raises(self):
+        with pytest.raises(ValueError):
+            uniform_average(np.zeros(3))
+
+
+class TestWeightedAverage:
+    def test_normalization(self):
+        stack = np.array([[0.0], [10.0]])
+        np.testing.assert_allclose(weighted_average(stack, [1, 4]), [8.0])
+
+    def test_zero_weight_excluded(self):
+        stack = np.array([[1.0], [99.0]])
+        np.testing.assert_allclose(weighted_average(stack, [1.0, 0.0]), [1.0])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average(np.zeros((2, 1)), [-1.0, 2.0])
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_average(np.zeros((2, 1)), [0.0, 0.0])
+
+    def test_weight_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average(np.zeros((2, 1)), [1.0])
+
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        d=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_convex_combination_bounds(self, n, d, seed):
+        """Aggregate lies coordinate-wise within [min, max] of the models."""
+        rng = np.random.default_rng(seed)
+        stack = rng.normal(size=(n, d)) * 10
+        weights = rng.uniform(0.01, 1.0, size=n)
+        agg = weighted_average(stack, weights)
+        assert np.all(agg >= stack.min(axis=0) - 1e-12)
+        assert np.all(agg <= stack.max(axis=0) + 1e-12)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_scale_invariance(self, seed):
+        """Scaling all weights by a constant changes nothing."""
+        rng = np.random.default_rng(seed)
+        stack = rng.normal(size=(5, 4))
+        w = rng.uniform(0.1, 1.0, size=5)
+        np.testing.assert_allclose(
+            weighted_average(stack, w), weighted_average(stack, w * 37.0), rtol=1e-12
+        )
+
+
+class TestSampleWeighted:
+    def test_eq3_weighting(self):
+        stack = np.array([[0.0], [1.0]])
+        np.testing.assert_allclose(
+            sample_weighted_average(stack, np.array([30, 10])), [0.25]
+        )
+
+
+class TestClassTimeWeighted:
+    def test_eq10_slow_class_weighs_more(self):
+        stack = np.array([[0.0], [1.0]])
+        # device 0 in fast class (mean time .1), device 1 slow (mean .9)
+        agg = class_time_weighted_average(stack, np.array([0.1, 0.9]))
+        np.testing.assert_allclose(agg, [0.9])
+
+    def test_equal_times_is_uniform(self):
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            class_time_weighted_average(stack, np.ones(4)),
+            uniform_average(stack),
+            rtol=1e-12,
+        )

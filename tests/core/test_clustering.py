@@ -1,0 +1,109 @@
+"""Tests for capacity clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import cluster_by_capacity, equal_width_bins, kmeans_1d
+
+
+class TestKmeans1d:
+    def test_separated_clusters_found(self):
+        values = np.array([1.0, 1.1, 0.9, 10.0, 10.2, 9.8])
+        labels, centers = kmeans_1d(values, 2)
+        assert set(labels[:3]) != set(labels[3:])
+        np.testing.assert_allclose(sorted(centers), [1.0, 10.0], atol=0.2)
+
+    def test_centers_sorted(self):
+        values = np.random.default_rng(0).uniform(0, 10, size=50)
+        _, centers = kmeans_1d(values, 5)
+        assert np.all(np.diff(centers) >= 0)
+
+    def test_k_clipped_to_distinct(self):
+        values = np.array([1.0, 1.0, 2.0])
+        labels, centers = kmeans_1d(values, 10)
+        assert centers.size == 2
+        assert labels.max() <= 1
+
+    def test_k_one(self):
+        values = np.array([1.0, 5.0, 9.0])
+        labels, centers = kmeans_1d(values, 1)
+        np.testing.assert_array_equal(labels, 0)
+        np.testing.assert_allclose(centers, [5.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), 0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_labeling(self, n, k, seed):
+        values = np.random.default_rng(seed).uniform(0.1, 1.0, size=n)
+        labels, centers = kmeans_1d(values, k)
+        assert labels.shape == (n,)
+        assert labels.min() >= 0 and labels.max() < centers.size
+        assert np.all(np.diff(centers) >= 0)
+        # every point is assigned to its nearest center
+        dist = np.abs(values[:, None] - centers[None, :])
+        np.testing.assert_array_equal(labels, dist.argmin(axis=1))
+
+
+class TestEqualWidthBins:
+    def test_uniform_range_split(self):
+        values = np.array([0.0, 0.5, 1.0, 1.5, 2.0])
+        labels, centers = equal_width_bins(values, 2)
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1, 1])
+
+    def test_degenerate_single_value(self):
+        labels, centers = equal_width_bins(np.array([3.0, 3.0]), 4)
+        np.testing.assert_array_equal(labels, 0)
+        assert centers.size == 1
+
+    def test_max_value_in_last_bin(self):
+        values = np.linspace(0, 1, 11)
+        labels, _ = equal_width_bins(values, 5)
+        assert labels[-1] == 4
+
+
+class TestClusterByCapacity:
+    def test_partition_of_positions(self):
+        times = np.random.default_rng(1).uniform(0.1, 1.0, size=30)
+        classes = cluster_by_capacity(times, 4)
+        allpos = np.concatenate(classes)
+        assert sorted(allpos) == list(range(30))
+
+    def test_fastest_class_first(self):
+        times = np.array([1.0, 0.1, 0.12, 0.95])
+        classes = cluster_by_capacity(times, 2)
+        assert times[classes[0]].mean() < times[classes[1]].mean()
+
+    def test_k_larger_than_n(self):
+        times = np.array([0.5, 0.7])
+        classes = cluster_by_capacity(times, 10)
+        assert len(classes) == 2
+
+    def test_equal_width_method(self):
+        times = np.linspace(0.1, 1.0, 20)
+        classes = cluster_by_capacity(times, 3, method="equal_width")
+        assert sum(c.size for c in classes) == 20
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            cluster_by_capacity(np.array([1.0]), 1, method="dbscan")
+
+    def test_classes_are_time_contiguous(self):
+        """1-D k-means classes never interleave: the slowest member of a
+        faster class is faster than the fastest member of a slower class."""
+        times = np.random.default_rng(2).uniform(0.1, 1.0, size=50)
+        classes = cluster_by_capacity(times, 5)
+        for a, b in zip(classes, classes[1:]):
+            assert times[a].max() <= times[b].min() + 1e-12

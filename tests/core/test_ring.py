@@ -1,0 +1,101 @@
+"""Tests for ring-topology construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import RING_ORDERS, build_ring, build_rings
+
+
+class TestBuildRing:
+    def test_small_to_large(self):
+        ring = build_ring([10, 20, 30], [0.5, 0.1, 0.9], order="small_to_large")
+        assert ring == [20, 10, 30]
+
+    def test_large_to_small(self):
+        ring = build_ring([10, 20, 30], [0.5, 0.1, 0.9], order="large_to_small")
+        assert ring == [30, 10, 20]
+
+    def test_random_is_permutation(self):
+        ids = [1, 2, 3, 4, 5]
+        ring = build_ring(ids, [0.1] * 5, order="random", seed=0)
+        assert sorted(ring) == ids
+
+    def test_random_seed_deterministic(self):
+        ids = list(range(10))
+        a = build_ring(ids, [0.1] * 10, order="random", seed=7)
+        b = build_ring(ids, [0.1] * 10, order="random", seed=7)
+        assert a == b
+
+    def test_ties_break_by_id(self):
+        ring = build_ring([5, 3, 4], [0.2, 0.2, 0.2], order="small_to_large")
+        assert ring == [3, 4, 5]
+
+    def test_singleton_passthrough(self):
+        assert build_ring([7], [0.3]) == [7]
+
+    def test_empty_passthrough(self):
+        assert build_ring([], []) == []
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_ring([1, 2], [0.1])
+
+    def test_unknown_order_raises(self):
+        with pytest.raises(ValueError):
+            build_ring([1, 2], [0.1, 0.2], order="zigzag")
+
+    @given(
+        n=st.integers(min_value=0, max_value=30),
+        order=st.sampled_from(RING_ORDERS),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_permutation(self, n, order, seed):
+        """Any ordering returns exactly the input ids, each once."""
+        rng = np.random.default_rng(seed)
+        ids = list(rng.choice(1000, size=n, replace=False))
+        times = rng.uniform(0.1, 1.0, size=n)
+        ring = build_ring(ids, times, order=order, seed=seed)
+        assert sorted(ring) == sorted(ids)
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorted_orderings_monotone(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ids = list(range(n))
+        times = rng.uniform(0.1, 1.0, size=n)
+        s2l = build_ring(ids, times, order="small_to_large")
+        assert all(
+            times[a] <= times[b] for a, b in zip(s2l, s2l[1:])
+        )
+        l2s = build_ring(ids, times, order="large_to_small")
+        assert l2s == s2l[::-1] or all(
+            times[a] >= times[b] for a, b in zip(l2s, l2s[1:])
+        )
+
+
+class TestBuildRings:
+    def test_one_ring_per_class(self):
+        ids = [100, 101, 102, 103]
+        times = np.array([0.1, 0.2, 0.8, 0.9])
+        classes = [np.array([0, 1]), np.array([2, 3])]
+        rings = build_rings(classes, ids, times)
+        assert rings == [[100, 101], [102, 103]]
+
+    def test_all_devices_covered_once(self):
+        rng = np.random.default_rng(3)
+        ids = list(range(20))
+        times = rng.uniform(0.1, 1.0, 20)
+        classes = [np.arange(0, 7), np.arange(7, 15), np.arange(15, 20)]
+        rings = build_rings(classes, ids, times)
+        flat = [d for r in rings for d in r]
+        assert sorted(flat) == ids
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_rings([np.array([0])], [1, 2], np.array([0.1]))

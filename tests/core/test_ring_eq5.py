@@ -1,0 +1,62 @@
+"""Tests for the full Eq. (5) ring construction with link delays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import build_ring, build_ring_eq5
+from repro.device.network import MatrixDelay, UniformDelay
+
+
+class TestBuildRingEq5:
+    def test_uniform_delay_matches_small_to_large(self):
+        """With equal delays the metric reduces to t_i: greedy from the
+        fastest node reproduces the ascending order (ties by id)."""
+        ids = [3, 1, 2]
+        times = [0.9, 0.1, 0.5]
+        eq5 = build_ring_eq5(ids, times, UniformDelay(0.2))
+        s2l = build_ring(ids, times, order="small_to_large")
+        assert eq5 == s2l
+
+    def test_delay_overrides_speed(self):
+        """A huge link delay diverts the ring even toward a slower node."""
+        ids = [0, 1, 2]
+        times = [0.1, 0.2, 0.3]
+        # delay 0->1 enormous; 0->2 free: ring goes 0, 2, 1.
+        d = np.array(
+            [[0.0, 100.0, 0.0],
+             [100.0, 0.0, 100.0],
+             [0.0, 100.0, 0.0]]
+        )
+        ring = build_ring_eq5(ids, times, MatrixDelay(d))
+        assert ring == [0, 2, 1]
+
+    def test_permutation_invariant(self):
+        ids = [10, 20, 30, 40]
+        times = [0.4, 0.2, 0.3, 0.1]
+        ring = build_ring_eq5(ids, times, UniformDelay(0.0))
+        assert sorted(ring) == sorted(ids)
+
+    def test_singleton_and_empty(self):
+        assert build_ring_eq5([5], [0.1], UniformDelay()) == [5]
+        assert build_ring_eq5([], [], UniformDelay()) == []
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_ring_eq5([1, 2], [0.1], UniformDelay())
+
+    @given(
+        n=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_ring(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ids = list(range(n))
+        times = rng.uniform(0.1, 1.0, size=n)
+        delays = rng.uniform(0.0, 0.5, size=(n, n))
+        np.fill_diagonal(delays, 0.0)
+        ring = build_ring_eq5(ids, times, MatrixDelay(delays))
+        assert sorted(ring) == ids
+        assert ring[0] == int(np.argmin(times))  # starts at the fastest

@@ -1,0 +1,122 @@
+"""Tests for device-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    BernoulliSelection,
+    DataSizeSelection,
+    FastestSelection,
+    make_policy,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBernoulliSelection:
+    def test_full_participation_all(self, tiny_devices, rng):
+        chosen = BernoulliSelection(1.0).select(1, tiny_devices, rng)
+        assert len(chosen) == len(tiny_devices)
+
+    def test_partial_never_empty(self, tiny_devices, rng):
+        policy = BernoulliSelection(0.05)
+        for r in range(20):
+            assert len(policy.select(r, tiny_devices, rng)) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliSelection(0.0)
+
+
+class TestFastestSelection:
+    def test_takes_fastest(self, tiny_devices, rng):
+        chosen = FastestSelection(0.25).select(1, tiny_devices, rng)
+        cutoff = max(d.unit_time for d in chosen)
+        excluded = [d for d in tiny_devices if d not in chosen]
+        assert all(d.unit_time >= cutoff for d in excluded)
+
+    def test_deterministic(self, tiny_devices, rng):
+        a = FastestSelection(0.5).select(1, tiny_devices, rng)
+        b = FastestSelection(0.5).select(2, tiny_devices, rng)
+        assert [d.device_id for d in a] == [d.device_id for d in b]
+
+    def test_slow_devices_never_selected(self, tiny_devices, rng):
+        """The paper's critique of FedCS-style selection: slow devices'
+        data is simply never used."""
+        policy = FastestSelection(0.25)
+        slowest = max(tiny_devices, key=lambda d: d.unit_time)
+        for r in range(10):
+            assert slowest not in policy.select(r, tiny_devices, rng)
+
+
+class TestDataSizeSelection:
+    def test_count(self, tiny_devices, rng):
+        chosen = DataSizeSelection(0.5).select(1, tiny_devices, rng)
+        assert len(chosen) == round(0.5 * len(tiny_devices))
+
+    def test_no_duplicates(self, tiny_devices, rng):
+        chosen = DataSizeSelection(0.75).select(1, tiny_devices, rng)
+        ids = [d.device_id for d in chosen]
+        assert len(ids) == len(set(ids))
+
+    def test_biased_toward_large_shards(self, tiny_devices):
+        counts = {d.device_id: 0 for d in tiny_devices}
+        policy = DataSizeSelection(0.25)
+        rng = np.random.default_rng(1)
+        for r in range(300):
+            for d in policy.select(r, tiny_devices, rng):
+                counts[d.device_id] += 1
+        largest = max(tiny_devices, key=lambda d: d.num_samples)
+        smallest = min(tiny_devices, key=lambda d: d.num_samples)
+        assert counts[largest.device_id] > counts[smallest.device_id]
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name,cls", [
+        ("bernoulli", BernoulliSelection),
+        ("fastest", FastestSelection),
+        ("datasize", DataSizeSelection),
+    ])
+    def test_factory(self, name, cls):
+        assert isinstance(make_policy(name, 0.5), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("oracle", 0.5)
+
+
+class TestServerIntegration:
+    def test_policy_plugs_into_server(self, tiny_devices, tiny_split):
+        from repro.core.server import ServerConfig
+        from tests.core.test_server import EchoServer
+
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(rounds=2))
+        srv.selection_policy = FastestSelection(0.25)
+        participants = srv.select_participants(1)
+        assert len(participants) == 2  # 25% of 8
+        times = [d.unit_time for d in participants]
+        assert max(times) <= min(d.unit_time for d in tiny_devices
+                                 if d not in participants)
+
+    def test_fastest_selection_loses_data(self, tiny_devices, tiny_split):
+        """End-to-end version of the paper's critique: training only on the
+        fastest quartile underperforms full participation."""
+        from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
+
+        _, test_set = tiny_split
+        full = FedHiSynServer(
+            tiny_devices, test_set,
+            FedHiSynConfig(rounds=5, num_classes=3, local_epochs=1),
+        ).fit()
+
+        restricted_srv = FedHiSynServer(
+            tiny_devices, test_set,
+            FedHiSynConfig(rounds=5, num_classes=3, local_epochs=1),
+        )
+        restricted_srv.selection_policy = FastestSelection(0.25)
+        restricted = restricted_srv.fit()
+        assert full.final_accuracy >= restricted.final_accuracy - 0.05

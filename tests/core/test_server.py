@@ -1,0 +1,117 @@
+"""Tests for the shared FederatedServer scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.core.server import FederatedServer, ServerConfig
+from repro.nn.serialization import get_flat_params
+
+
+class EchoServer(FederatedServer):
+    """Trivial algorithm: leave the global model unchanged, one unit cost."""
+
+    method = "echo"
+
+    def run_round(self, round_idx, participants, global_weights):
+        self.meter.record_download(len(participants))
+        self.meter.record_upload(len(participants))
+        self.clock.advance_by(self.round_duration(participants))
+        return global_weights
+
+
+class TestServerConfig:
+    def test_defaults_valid(self):
+        ServerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rounds=0),
+            dict(participation=0.0),
+            dict(participation=1.5),
+            dict(local_epochs=0),
+            dict(eval_every=0),
+        ],
+    )
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerConfig(**kwargs)
+
+
+class TestFederatedServer:
+    def test_requires_devices(self, tiny_split):
+        _, test_set = tiny_split
+        with pytest.raises(ValueError):
+            EchoServer([], test_set)
+
+    def test_shared_trainer_enforced(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        from repro.device.device import LocalTrainer
+        from repro.nn.models import paper_mlp
+
+        other = LocalTrainer(paper_mlp(12, 4, seed=9, hidden=(4, 3)))
+        tiny_devices[0].trainer = other
+        with pytest.raises(ValueError):
+            EchoServer(tiny_devices, test_set)
+
+    def test_full_participation_selects_all(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(participation=1.0))
+        assert len(srv.select_participants(1)) == len(tiny_devices)
+
+    def test_partial_participation_subset(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(participation=0.5, seed=0))
+        sizes = [len(srv.select_participants(r)) for r in range(1, 30)]
+        assert min(sizes) >= 1
+        assert 2 <= np.mean(sizes) <= 6  # expectation is 4 of 8
+
+    def test_selection_deterministic_per_round(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        a = EchoServer(tiny_devices, test_set, ServerConfig(participation=0.5, seed=3))
+        b = EchoServer(tiny_devices, test_set, ServerConfig(participation=0.5, seed=3))
+        for r in range(1, 5):
+            assert [d.device_id for d in a.select_participants(r)] == [
+                d.device_id for d in b.select_participants(r)
+            ]
+
+    def test_round_duration_is_slowest(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set)
+        assert srv.round_duration(tiny_devices) == max(
+            d.unit_time for d in tiny_devices
+        )
+
+    def test_fit_produces_history(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(rounds=4))
+        result = srv.fit()
+        assert result.method == "echo"
+        assert list(result.history.rounds) == [1, 2, 3, 4]
+        assert result.history.server_transfers[-1] == 4 * 2 * len(tiny_devices)
+
+    def test_eval_every(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(rounds=5, eval_every=2))
+        result = srv.fit()
+        assert list(result.history.rounds) == [2, 4, 5]
+
+    def test_initial_weights_override(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(rounds=1))
+        w0 = np.zeros_like(get_flat_params(srv.trainer.model))
+        result = srv.fit(initial_weights=w0)
+        np.testing.assert_array_equal(result.final_weights, w0)
+
+    def test_per_round_unit(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(participation=0.5))
+        assert srv.per_round_unit == 2 * 0.5 * len(tiny_devices)
+
+    def test_virtual_clock_advances(self, tiny_devices, tiny_split):
+        _, test_set = tiny_split
+        srv = EchoServer(tiny_devices, test_set, ServerConfig(rounds=3))
+        srv.fit()
+        assert srv.clock.now == pytest.approx(
+            3 * max(d.unit_time for d in tiny_devices)
+        )

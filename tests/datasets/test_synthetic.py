@@ -1,0 +1,121 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, make_dataset
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    cifar10_like,
+    cifar100_like,
+    emnist_like,
+    make_synthetic,
+    mnist_like,
+)
+
+
+class TestSyntheticSpec:
+    def test_valid(self):
+        SyntheticSpec("s", 3, 30, 4, (8,))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_classes=1),
+            dict(num_samples=2),  # fewer than classes
+            dict(latent_dim=0),
+            dict(feature_shape=(2, 2)),  # invalid rank
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(name="s", num_classes=3, num_samples=30, latent_dim=4,
+                    feature_shape=(8,))
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            SyntheticSpec(**base)
+
+
+class TestMakeSynthetic:
+    def test_deterministic(self):
+        spec = SyntheticSpec("s", 3, 60, 4, (8,))
+        a = make_synthetic(spec, seed=7)
+        b = make_synthetic(spec, seed=7)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        spec = SyntheticSpec("s", 3, 60, 4, (8,))
+        a = make_synthetic(spec, seed=1)
+        b = make_synthetic(spec, seed=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_balanced_labels(self):
+        spec = SyntheticSpec("s", 4, 80, 4, (8,), balanced=True)
+        ds = make_synthetic(spec, seed=0)
+        np.testing.assert_array_equal(ds.class_counts(), [20, 20, 20, 20])
+
+    def test_unbalanced_labels_random(self):
+        spec = SyntheticSpec("s", 4, 400, 4, (8,), balanced=False)
+        ds = make_synthetic(spec, seed=0)
+        assert ds.class_counts().sum() == 400
+        assert ds.class_counts().std() > 0
+
+    def test_squash_bounds(self):
+        spec = SyntheticSpec("s", 3, 60, 4, (2, 4, 4), squash=True)
+        ds = make_synthetic(spec, seed=0)
+        assert np.abs(ds.x).max() <= 1.0
+
+    def test_image_shape(self):
+        spec = SyntheticSpec("s", 3, 12, 4, (3, 4, 4))
+        ds = make_synthetic(spec, seed=0)
+        assert ds.x.shape == (12, 3, 4, 4)
+
+    def test_classes_are_separable(self):
+        """Nearest-prototype in feature space beats chance by a wide margin."""
+        spec = SyntheticSpec("s", 4, 400, 8, (16,), separation=5.0,
+                             sigma_within=0.5, sigma_noise=0.2)
+        ds = make_synthetic(spec, seed=0)
+        centroids = np.stack([ds.x[ds.y == k].mean(axis=0) for k in range(4)])
+        d = ((ds.x[:, None, :] - centroids[None]) ** 2).sum(-1)
+        acc = (d.argmin(1) == ds.y).mean()
+        assert acc > 0.9
+
+
+class TestNamedGenerators:
+    @pytest.mark.parametrize(
+        "factory,classes,shape_len",
+        [
+            (mnist_like, 10, 1),
+            (emnist_like, 26, 1),
+            (cifar10_like, 10, 3),
+            (cifar100_like, 100, 3),
+        ],
+    )
+    def test_class_counts_and_shapes(self, factory, classes, shape_len):
+        ds = factory(num_samples=max(200, classes * 2), seed=0)
+        assert ds.num_classes == classes
+        assert len(ds.feature_shape) == shape_len
+
+    def test_registry_names_resolve(self):
+        for name in DATASETS:
+            ds = make_dataset(name, num_samples=max(200, DATASETS[name].factory().num_classes * 2), seed=0)
+            assert len(ds) > 0
+
+    def test_registry_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("imagenet")
+
+    def test_difficulty_ordering(self):
+        """Nearest-centroid accuracy orders mnist > emnist and c10 > c100."""
+        def centroid_acc(ds):
+            xf = ds.x.reshape(len(ds), -1)
+            cents = np.stack([xf[ds.y == k].mean(axis=0) for k in range(ds.num_classes)])
+            d = ((xf[:, None, :] - cents[None]) ** 2).sum(-1)
+            return (d.argmin(1) == ds.y).mean()
+
+        m = centroid_acc(mnist_like(num_samples=600, seed=0))
+        e = centroid_acc(emnist_like(num_samples=1560, seed=0))
+        c10 = centroid_acc(cifar10_like(num_samples=600, seed=0))
+        c100 = centroid_acc(cifar100_like(num_samples=3000, seed=0))
+        assert m > e > c100
+        assert c10 > c100

@@ -1,0 +1,160 @@
+"""Tests for repro.device.device: LocalTrainer and Device."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.core import ClassificationDataset
+from repro.device.device import Device, LocalTrainer, make_devices
+from repro.nn.models import paper_mlp
+from repro.nn.serialization import get_flat_params
+
+
+@pytest.fixture()
+def shard():
+    rng = np.random.default_rng(0)
+    return ClassificationDataset(rng.normal(size=(40, 6)), rng.integers(0, 3, 40), 3)
+
+
+@pytest.fixture()
+def trainer():
+    model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+    return LocalTrainer(model, lr=0.1, batch_size=16, seed=1)
+
+
+class TestLocalTrainer:
+    def test_train_changes_weights(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        w1, steps = trainer.train(w0, shard, epochs=2)
+        assert steps == 2 * 3  # ceil(40/16)=3 batches per epoch
+        assert not np.allclose(w0, w1)
+
+    def test_train_is_pure_wrt_input(self, trainer, shard):
+        w0 = get_flat_params(trainer.model).copy()
+        before = w0.copy()
+        trainer.train(w0, shard, epochs=1)
+        np.testing.assert_array_equal(w0, before)
+
+    def test_same_stream_key_reproducible(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        a, _ = trainer.train(w0, shard, 1, stream_key=(3, 1, 0))
+        b, _ = trainer.train(w0, shard, 1, stream_key=(3, 1, 0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_stream_keys_differ(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        a, _ = trainer.train(w0, shard, 1, stream_key=(3, 1, 0))
+        b, _ = trainer.train(w0, shard, 1, stream_key=(3, 1, 1))
+        assert not np.array_equal(a, b)
+
+    def test_reduces_local_loss(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        from repro.nn.serialization import set_flat_params
+
+        set_flat_params(trainer.model, w0)
+        before = trainer.model.evaluate_loss(shard.x, shard.y)
+        w1, _ = trainer.train(w0, shard, epochs=10)
+        set_flat_params(trainer.model, w1)
+        after = trainer.model.evaluate_loss(shard.x, shard.y)
+        assert after < before
+
+    def test_proximal_limits_drift(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        free, _ = trainer.train(w0, shard, epochs=5, stream_key=(0,))
+        prox, _ = trainer.train(w0, shard, epochs=5, stream_key=(0,),
+                                anchor=w0, mu=10.0)
+        assert np.linalg.norm(prox - w0) < np.linalg.norm(free - w0)
+
+    def test_correction_steers_update(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        plain, _ = trainer.train(w0, shard, 1, stream_key=(0,))
+        corr = np.ones(trainer.dim)
+        pushed, _ = trainer.train(w0, shard, 1, stream_key=(0,), correction=corr)
+        # correction adds -eta*sum(corr) to every step
+        assert not np.allclose(plain, pushed)
+        assert (pushed < plain).mean() > 0.9  # pushed down almost everywhere
+
+    def test_gradient_shape_and_direction(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        g = trainer.gradient(w0, shard)
+        assert g.shape == (trainer.dim,)
+        # A small step along -g must reduce the full-batch loss.
+        from repro.nn.serialization import set_flat_params
+
+        set_flat_params(trainer.model, w0)
+        before = trainer.model.evaluate_loss(shard.x, shard.y)
+        set_flat_params(trainer.model, w0 - 0.01 * g)
+        after = trainer.model.evaluate_loss(shard.x, shard.y)
+        assert after < before
+
+    def test_zero_epochs_raises(self, trainer, shard):
+        with pytest.raises(ValueError):
+            trainer.train(get_flat_params(trainer.model), shard, 0)
+
+    def test_lr_override(self, trainer, shard):
+        w0 = get_flat_params(trainer.model)
+        slow, _ = trainer.train(w0, shard, 1, stream_key=(0,), lr=1e-6)
+        np.testing.assert_allclose(slow, w0, atol=1e-3)
+
+    @pytest.mark.parametrize("bad", [{"lr": 0}, {"batch_size": 0}])
+    def test_bad_ctor_raises(self, bad):
+        model = paper_mlp(6, 3, seed=0, hidden=(4, 3))
+        with pytest.raises(ValueError):
+            LocalTrainer(model, **bad)
+
+
+class TestDevice:
+    def test_buffer_reset(self, trainer, shard):
+        dev = Device(0, shard, 1.0, trainer)
+        w = np.zeros(trainer.dim)
+        dev.receive(np.ones(trainer.dim))
+        dev.reset_buffer(w)
+        assert len(dev.buffer) == 1
+        np.testing.assert_array_equal(dev.buffer[0], w)
+
+    def test_train_unit_uses_buffer_back(self, trainer, shard):
+        dev = Device(0, shard, 1.0, trainer)
+        w0 = get_flat_params(trainer.model)
+        dev.reset_buffer(w0)
+        received = w0 + 0.1
+        dev.receive(received)
+        out = dev.train_unit(1, round_idx=0, unit_idx=0)
+        # trained from `received`, not w0
+        ref = dev.run_unit(received, 1, 0, 0)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_train_unit_supersedes_buffer(self, trainer, shard):
+        dev = Device(0, shard, 1.0, trainer)
+        dev.reset_buffer(get_flat_params(trainer.model))
+        out = dev.train_unit(1, 0, 0)
+        assert len(dev.buffer) == 1
+        np.testing.assert_array_equal(dev.buffer[0], out)
+
+    def test_empty_buffer_raises(self, trainer, shard):
+        dev = Device(0, shard, 1.0, trainer)
+        with pytest.raises(RuntimeError):
+            dev.train_unit(1, 0, 0)
+
+    def test_nonpositive_unit_time_raises(self, trainer, shard):
+        with pytest.raises(ValueError):
+            Device(0, shard, 0.0, trainer)
+
+    def test_empty_shard_raises(self, trainer, shard):
+        empty = shard.subset(np.empty(0, dtype=np.intp))
+        with pytest.raises(ValueError):
+            Device(0, empty, 1.0, trainer)
+
+
+class TestMakeDevices:
+    def test_builds_fleet(self, trainer):
+        rng = np.random.default_rng(0)
+        ds = ClassificationDataset(rng.normal(size=(30, 6)), rng.integers(0, 3, 30), 3)
+        parts = [np.arange(0, 10), np.arange(10, 20), np.arange(20, 30)]
+        devs = make_devices(ds, parts, np.array([1.0, 0.5, 0.25]), trainer)
+        assert [d.device_id for d in devs] == [0, 1, 2]
+        assert [d.num_samples for d in devs] == [10, 10, 10]
+        assert devs[2].unit_time == 0.25
+
+    def test_length_mismatch_raises(self, trainer):
+        ds = ClassificationDataset(np.zeros((4, 6)), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            make_devices(ds, [np.arange(4)], np.array([1.0, 2.0]), trainer)

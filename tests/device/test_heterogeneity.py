@@ -1,0 +1,93 @@
+"""Tests for repro.device.heterogeneity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.heterogeneity import (
+    heterogeneity_ratio,
+    sample_unit_counts,
+    unit_times_from_counts,
+    unit_times_from_ratio,
+)
+
+
+class TestSampleUnitCounts:
+    def test_range(self):
+        counts = sample_unit_counts(50, 1, 10, seed=0)
+        assert counts.min() >= 1 and counts.max() <= 10
+
+    def test_extremes_pinned(self):
+        counts = sample_unit_counts(10, 2, 9, seed=1)
+        assert counts.min() == 2 and counts.max() == 9
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            sample_unit_counts(20, seed=5), sample_unit_counts(20, seed=5)
+        )
+
+    def test_single_device(self):
+        assert sample_unit_counts(1, 1, 10, seed=0).shape == (1,)
+
+    def test_degenerate_range(self):
+        counts = sample_unit_counts(5, 3, 3, seed=0)
+        np.testing.assert_array_equal(counts, 3)
+
+    @pytest.mark.parametrize("n,lo,hi", [(0, 1, 10), (5, 0, 10), (5, 5, 2)])
+    def test_invalid_raises(self, n, lo, hi):
+        with pytest.raises(ValueError):
+            sample_unit_counts(n, lo, hi)
+
+
+class TestUnitTimes:
+    def test_from_counts(self):
+        t = unit_times_from_counts(np.array([1, 2, 4]), round_length=1.0)
+        np.testing.assert_allclose(t, [1.0, 0.5, 0.25])
+
+    def test_round_length_scales(self):
+        t = unit_times_from_counts(np.array([2]), round_length=3.0)
+        np.testing.assert_allclose(t, [1.5])
+
+    def test_counts_below_one_raise(self):
+        with pytest.raises(ValueError):
+            unit_times_from_counts(np.array([0]))
+
+    def test_from_ratio_exact(self):
+        t = unit_times_from_ratio(20, 10.0, seed=0)
+        np.testing.assert_allclose(heterogeneity_ratio(t), 10.0)
+
+    def test_from_ratio_one_homogeneous(self):
+        t = unit_times_from_ratio(5, 1.0, seed=0)
+        np.testing.assert_allclose(t, t[0])
+
+    def test_from_ratio_below_one_raises(self):
+        with pytest.raises(ValueError):
+            unit_times_from_ratio(5, 0.5)
+
+    @given(
+        n=st.integers(min_value=2, max_value=50),
+        ratio=st.floats(min_value=1.0, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_ratio_realized(self, n, ratio, seed):
+        t = unit_times_from_ratio(n, ratio, seed=seed)
+        assert np.all(t > 0)
+        np.testing.assert_allclose(heterogeneity_ratio(t), ratio, rtol=1e-9)
+
+
+class TestHeterogeneityRatio:
+    def test_known(self):
+        assert heterogeneity_ratio(np.array([0.1, 1.0])) == 10.0
+
+    def test_homogeneous_is_one(self):
+        assert heterogeneity_ratio(np.array([2.0, 2.0])) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            heterogeneity_ratio(np.array([]))
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            heterogeneity_ratio(np.array([0.0, 1.0]))

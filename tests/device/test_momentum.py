@@ -1,0 +1,62 @@
+"""Tests for heavy-ball momentum in LocalTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.core import ClassificationDataset
+from repro.device.device import LocalTrainer
+from repro.nn.models import paper_mlp
+from repro.nn.serialization import get_flat_params, set_flat_params
+
+
+@pytest.fixture()
+def shard():
+    rng = np.random.default_rng(3)
+    return ClassificationDataset(rng.normal(size=(60, 6)), rng.integers(0, 3, 60), 3)
+
+
+class TestTrainerMomentum:
+    def test_validation(self):
+        model = paper_mlp(6, 3, seed=0, hidden=(4, 3))
+        with pytest.raises(ValueError):
+            LocalTrainer(model, momentum=1.0)
+        with pytest.raises(ValueError):
+            LocalTrainer(model, momentum=-0.1)
+
+    def test_momentum_changes_trajectory(self, shard):
+        model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+        w0 = get_flat_params(model)
+        plain = LocalTrainer(model, lr=0.05, batch_size=20, seed=1)
+        heavy = LocalTrainer(model, lr=0.05, batch_size=20, seed=1, momentum=0.9)
+        a, _ = plain.train(w0, shard, 3, stream_key=(0,))
+        b, _ = heavy.train(w0, shard, 3, stream_key=(0,))
+        assert not np.allclose(a, b)
+
+    def test_momentum_zero_identical_to_plain(self, shard):
+        model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+        w0 = get_flat_params(model)
+        plain = LocalTrainer(model, lr=0.05, batch_size=20, seed=1)
+        zero = LocalTrainer(model, lr=0.05, batch_size=20, seed=1, momentum=0.0)
+        a, _ = plain.train(w0, shard, 2, stream_key=(0,))
+        b, _ = zero.train(w0, shard, 2, stream_key=(0,))
+        np.testing.assert_array_equal(a, b)
+
+    def test_momentum_still_reduces_loss(self, shard):
+        model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+        trainer = LocalTrainer(model, lr=0.05, batch_size=20, seed=1, momentum=0.9)
+        w0 = get_flat_params(model)
+        set_flat_params(model, w0)
+        before = model.evaluate_loss(shard.x, shard.y)
+        w1, _ = trainer.train(w0, shard, 10, stream_key=(0,))
+        set_flat_params(model, w1)
+        assert model.evaluate_loss(shard.x, shard.y) < before
+
+    def test_velocity_resets_between_calls(self, shard):
+        """Two 1-epoch calls == one trajectory restart, not a continuation:
+        calling train twice from the same start gives identical results."""
+        model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+        trainer = LocalTrainer(model, lr=0.05, batch_size=20, seed=1, momentum=0.9)
+        w0 = get_flat_params(model)
+        a, _ = trainer.train(w0, shard, 1, stream_key=(5,))
+        b, _ = trainer.train(w0, shard, 1, stream_key=(5,))
+        np.testing.assert_array_equal(a, b)

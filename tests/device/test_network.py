@@ -1,0 +1,36 @@
+"""Tests for repro.device.network."""
+
+import numpy as np
+import pytest
+
+from repro.device.network import MatrixDelay, UniformDelay
+
+
+class TestUniformDelay:
+    def test_default_zero(self):
+        assert UniformDelay().delay(0, 1) == 0.0
+
+    def test_constant(self):
+        d = UniformDelay(0.3)
+        assert d.delay(0, 1) == 0.3
+        assert d.delay(5, 2) == 0.3
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            UniformDelay(-0.1)
+
+
+class TestMatrixDelay:
+    def test_lookup(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        d = MatrixDelay(m)
+        assert d.delay(0, 1) == 1.0
+        assert d.delay(1, 0) == 2.0
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            MatrixDelay(np.zeros((2, 3)))
+
+    def test_negative_entries_raise(self):
+        with pytest.raises(ValueError):
+            MatrixDelay(np.array([[0.0, -1.0], [0.0, 0.0]]))

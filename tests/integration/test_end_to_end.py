@@ -1,0 +1,92 @@
+"""Integration tests: every method end-to-end on a shared setup, and the
+qualitative relationships the paper's evaluation rests on."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_methods, format_comparison, table1_cells
+from repro.experiments import ExperimentSpec, run_experiment
+
+
+@pytest.fixture(scope="module")
+def shared_spec():
+    return ExperimentSpec(
+        method="fedhisyn",
+        dataset="mnist_like",
+        num_samples=800,
+        num_devices=8,
+        partition="dirichlet",
+        beta=0.3,
+        rounds=5,
+        local_epochs=1,
+        seed=3,
+        method_kwargs={"num_classes": 3},
+    )
+
+
+@pytest.fixture(scope="module")
+def all_results(shared_spec):
+    return compare_methods(
+        shared_spec,
+        methods=["fedhisyn", "fedavg", "tfedavg", "tafedavg", "fedprox",
+                 "fedat", "scaffold"],
+        method_kwargs={"fedhisyn": {"num_classes": 3}},
+    )
+
+
+class TestAllMethodsEndToEnd:
+    def test_every_method_learns(self, all_results):
+        for name, res in all_results.items():
+            assert res.final_accuracy > 0.3, f"{name} failed to learn"
+
+    def test_every_method_finite(self, all_results):
+        for name, res in all_results.items():
+            assert np.isfinite(res.final_weights).all(), name
+
+    def test_histories_complete(self, all_results):
+        for name, res in all_results.items():
+            assert len(res.history.rounds) == 5, name
+
+    def test_transfer_ordering(self, all_results):
+        """Async methods move more models per round than synchronous ones;
+        SCAFFOLD moves exactly twice FedAvg."""
+        totals = {n: r.history.server_transfers[-1] for n, r in all_results.items()}
+        assert totals["scaffold"] == 2 * totals["fedavg"]
+        assert totals["tafedavg"] > totals["fedavg"]
+        assert totals["fedat"] > totals["fedavg"]
+        assert totals["fedhisyn"] == totals["fedavg"]  # same server schedule
+
+    def test_table_cells_render(self, all_results):
+        cells = table1_cells(all_results, target=0.5)
+        assert set(cells) == set(all_results)
+        for cell in cells.values():
+            assert "%" in cell
+
+    def test_format_comparison_renders(self, all_results):
+        text = format_comparison(all_results, target=0.5, title="t")
+        assert "fedhisyn" in text and "scaffold" in text
+
+
+class TestPaperShapeRelations:
+    """Cheap qualitative checks of the paper's headline relations."""
+
+    def test_fedhisyn_cost_no_worse_than_fedavg(self, all_results):
+        target = 0.6
+        fh = all_results["fedhisyn"].cost_to_target(target)
+        fa = all_results["fedavg"].cost_to_target(target)
+        assert fh is not None
+        assert fa is None or fh <= fa + 1e-9
+
+    def test_noniid_harder_than_iid(self, shared_spec):
+        """Both FedHiSyn runs: IID reaches a fixed target at no greater
+        transfer cost than Dirichlet(0.3)."""
+        iid = run_experiment(
+            ExperimentSpec(**{**shared_spec.__dict__, "partition": "iid",
+                              "method_kwargs": {"num_classes": 3}})
+        )
+        noniid = run_experiment(shared_spec)
+        target = 0.6
+        c_iid = iid.cost_to_target(target)
+        c_non = noniid.cost_to_target(target)
+        assert c_iid is not None
+        assert c_non is None or c_iid <= c_non + 1e-9

@@ -1,0 +1,119 @@
+"""Tests for repro.nn.functional: im2col/col2im, softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import col2im, conv_output_size, im2col, log_softmax, softmax
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [(8, 3, 1, 0, 6), (8, 3, 1, 1, 8), (8, 2, 2, 0, 4), (5, 5, 1, 2, 5)],
+    )
+    def test_known_geometries(self, size, k, s, p, expected):
+        assert conv_output_size(size, k, s, p) == expected
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 6 * 6, dtype=float).reshape(2, 3, 6, 6)
+        cols = im2col(x, 3, 3, stride=1, pad=0)
+        assert cols.shape == (2 * 4 * 4, 3 * 3 * 3)
+
+    def test_identity_kernel_content(self):
+        # 1x1 kernel: columns are just the pixels in channel order.
+        x = np.random.default_rng(0).normal(size=(1, 2, 3, 3))
+        cols = im2col(x, 1, 1)
+        np.testing.assert_allclose(
+            cols, x.transpose(0, 2, 3, 1).reshape(9, 2)
+        )
+
+    def test_first_patch_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2)
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+
+    def test_padding_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        cols = im2col(x, 3, 3, pad=1)
+        # centre patch covers the full image; corners of it are padding.
+        assert cols.shape == (4, 9)
+        assert cols[0, 0] == 0.0  # top-left of first patch is padding
+
+    def test_conv_as_gemm_matches_direct(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 5, 5))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols = im2col(x, 3, 3)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, 3, 3, 4).transpose(0, 3, 1, 2)
+        # Direct (slow) convolution.
+        ref = np.zeros((2, 4, 3, 3))
+        for n in range(2):
+            for f in range(4):
+                for i in range(3):
+                    for j in range(3):
+                        ref[n, f, i, j] = np.sum(
+                            x[n, :, i : i + 3, j : j + 3] * w[f]
+                        )
+        np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+
+class TestCol2im:
+    def test_adjointness(self):
+        """col2im is the exact adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        rng = np.random.default_rng(2)
+        for stride, pad in [(1, 0), (1, 1), (2, 0), (2, 1)]:
+            x = rng.normal(size=(2, 3, 6, 6))
+            cols = im2col(x, 3, 3, stride=stride, pad=pad)
+            c = rng.normal(size=cols.shape)
+            lhs = np.vdot(cols, c)
+            rhs = np.vdot(x, col2im(c, x.shape, 3, 3, stride=stride, pad=pad))
+            np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+    def test_overlap_accumulates(self):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((4, 4))  # 2x2 kernel, stride 1 -> 2x2 output positions
+        out = col2im(cols, x_shape, 2, 2)
+        # centre pixel is covered by all 4 patches.
+        assert out[0, 0, 1, 1] == 4.0
+        assert out[0, 0, 0, 0] == 1.0
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(3).normal(size=(5, 7)) * 10
+        s = softmax(x)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(4).normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-10)
+
+    def test_extreme_logits_stable(self):
+        x = np.array([[1000.0, -1000.0]])
+        s = softmax(x)
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s, [[1.0, 0.0]], atol=1e-12)
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(5).normal(size=(4, 6))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)), rtol=1e-10)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_probability_simplex(self, n, c, seed):
+        x = np.random.default_rng(seed).normal(size=(n, c)) * 5
+        s = softmax(x)
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, rtol=1e-9)

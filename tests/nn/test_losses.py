@@ -1,0 +1,92 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
+
+
+class TestSoftmaxCrossEntropy:
+    def setup_method(self):
+        self.loss = SoftmaxCrossEntropy()
+
+    def test_uniform_logits_value(self):
+        logits = np.zeros((4, 10))
+        y = np.arange(4) % 10
+        np.testing.assert_allclose(self.loss.value(logits, y), np.log(10.0))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert self.loss.value(logits, np.array([1, 2])) < 1e-8
+
+    def test_grad_matches_fd(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 4))
+        y = rng.integers(0, 4, size=5)
+        g = self.loss.grad(logits, y)
+        eps = 1e-6
+        for i in range(5):
+            for j in range(4):
+                orig = logits[i, j]
+                logits[i, j] = orig + eps
+                up = self.loss.value(logits, y)
+                logits[i, j] = orig - eps
+                down = self.loss.value(logits, y)
+                logits[i, j] = orig
+                np.testing.assert_allclose(g[i, j], (up - down) / (2 * eps), rtol=1e-5, atol=1e-9)
+
+    def test_grad_rows_sum_to_zero(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(6, 5))
+        y = rng.integers(0, 5, size=6)
+        g = self.loss.grad(logits, y)
+        np.testing.assert_allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_target_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            self.loss.value(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_negative_target_raises(self):
+        with pytest.raises(ValueError):
+            self.loss.value(np.zeros((2, 3)), np.array([0, -1]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            self.loss.value(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    def test_1d_logits_raise(self):
+        with pytest.raises(ValueError):
+            self.loss.value(np.zeros(3), np.array([0]))
+
+
+class TestMSELoss:
+    def test_zero_at_match(self):
+        x = np.ones((3, 2))
+        assert MSELoss().value(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((1, 2))
+        b = np.array([[3.0, 4.0]])
+        np.testing.assert_allclose(MSELoss().value(a, b), (9 + 16) / 2)
+
+    def test_grad_matches_fd(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=(3, 2))
+        g = MSELoss().grad(a, b)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                orig = a[i, j]
+                a[i, j] = orig + eps
+                up = MSELoss().value(a, b)
+                a[i, j] = orig - eps
+                down = MSELoss().value(a, b)
+                a[i, j] = orig
+                np.testing.assert_allclose(g[i, j], (up - down) / (2 * eps), rtol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss().value(np.zeros((2, 2)), np.zeros((2, 3)))

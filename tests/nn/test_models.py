@@ -1,0 +1,102 @@
+"""Tests for repro.nn.models."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.models import Sequential, logistic_model, paper_cnn, paper_mlp
+from repro.nn.optim import SGD
+from repro.nn.serialization import num_params
+
+
+class TestSequential:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_parameters_collected_in_order(self):
+        m = paper_mlp(4, 2, seed=0, hidden=(3, 3))
+        names = [p.name for p in m.parameters()]
+        assert names == [
+            "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias",
+            "head.weight", "head.bias",
+        ]
+
+    def test_predict_shape_and_range(self):
+        m = paper_mlp(4, 5, seed=0, hidden=(3, 3))
+        preds = m.predict(np.random.default_rng(0).normal(size=(17, 4)), batch_size=5)
+        assert preds.shape == (17,)
+        assert preds.min() >= 0 and preds.max() < 5
+
+    def test_predict_empty(self):
+        m = paper_mlp(4, 5, seed=0, hidden=(3, 3))
+        assert m.predict(np.empty((0, 4))).shape == (0,)
+
+    def test_accuracy_empty_raises(self):
+        m = paper_mlp(4, 5, seed=0, hidden=(3, 3))
+        with pytest.raises(ValueError):
+            m.accuracy(np.empty((0, 4)), np.empty(0, dtype=int))
+
+    def test_accuracy_perfect_on_own_predictions(self):
+        m = paper_mlp(4, 3, seed=0, hidden=(3, 3))
+        x = np.random.default_rng(1).normal(size=(10, 4))
+        y = m.predict(x)
+        assert m.accuracy(x, y) == 1.0
+
+    def test_evaluate_loss_matches_loss_value(self):
+        m = paper_mlp(4, 3, seed=0, hidden=(3, 3))
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=(20, 4)), rng.integers(0, 3, size=20)
+        full = m.loss.value(m.forward(x, train=False), y)
+        batched = m.evaluate_loss(x, y, batch_size=7)
+        np.testing.assert_allclose(batched, full, rtol=1e-10)
+
+    def test_training_reduces_loss(self, tiny_dataset):
+        m = paper_mlp(tiny_dataset.flat_features, tiny_dataset.num_classes,
+                      seed=0, hidden=(16, 8))
+        opt = SGD(m.parameters(), lr=0.1)
+        x, y = tiny_dataset.x, tiny_dataset.y
+        first = None
+        for _ in range(30):
+            m.zero_grad()
+            loss = m.loss_and_grad(x, y)
+            first = first if first is not None else loss
+            opt.step()
+        assert loss < first * 0.5
+
+
+class TestPaperArchitectures:
+    def test_mlp_default_hidden_is_paper(self):
+        m = paper_mlp(784, 10, seed=0)
+        # 784*200+200 + 200*100+100 + 100*10+10
+        assert num_params(m) == 784 * 200 + 200 + 200 * 100 + 100 + 100 * 10 + 10
+
+    def test_cnn_paper_structure(self):
+        m = paper_cnn(3, 32, 10, seed=0)  # the paper's CIFAR input size
+        kinds = [type(l).__name__ for l in m.layers]
+        assert kinds == [
+            "Conv2d", "ReLU", "MaxPool2d", "Conv2d", "ReLU", "MaxPool2d",
+            "Flatten", "Dense", "ReLU", "Dense", "ReLU", "Dense",
+        ]
+        out = m.forward(np.zeros((2, 3, 32, 32)), train=False)
+        assert out.shape == (2, 10)
+
+    def test_cnn_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            paper_cnn(3, 10, 10, seed=0)
+
+    def test_cnn_small_input(self):
+        m = paper_cnn(3, 8, 10, seed=0, conv_channels=4, fc_sizes=(8, 6))
+        out = m.forward(np.zeros((1, 3, 8, 8)), train=False)
+        assert out.shape == (1, 10)
+
+    def test_logistic_is_linear(self):
+        m = logistic_model(5, 3, seed=0)
+        assert len(m.layers) == 1
+        assert isinstance(m.layers[0], Dense)
+
+    def test_seeded_init_reproducible(self):
+        a = paper_mlp(6, 3, seed=42, hidden=(4, 3))
+        b = paper_mlp(6, 3, seed=42, hidden=(4, 3))
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)

@@ -1,0 +1,88 @@
+"""Tests for the virtual clock and event queue."""
+
+import pytest
+
+from repro.simulation.clock import VirtualClock
+from repro.simulation.events import EventQueue
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_to(self):
+        c = VirtualClock()
+        c.advance_to(3.5)
+        assert c.now == 3.5
+
+    def test_advance_by(self):
+        c = VirtualClock(1.0)
+        c.advance_by(0.5)
+        assert c.now == 1.5
+
+    def test_no_backwards(self):
+        c = VirtualClock(2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+    def test_no_negative_delta(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-0.1)
+
+    def test_no_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_tie_break_by_insertion(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        q.push(1.0, "third")
+        assert [q.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.push(0.5, "k", payload={"x": 1})
+        assert q.pop().payload == {"x": 1}
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        assert q.peek().kind == "a"
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "bad")
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "a")
+        assert q and len(q) == 1
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(5.0, "late")
+        q.push(1.0, "early")
+        assert q.pop().kind == "early"
+        q.push(2.0, "mid")
+        assert q.pop().kind == "mid"
+        assert q.pop().kind == "late"

@@ -1,0 +1,175 @@
+"""Ring-engine semantics tests.
+
+A ``LineageTrainer`` replaces SGD with ``w += e_{device}`` so the final
+weight vector literally counts which devices trained each model — making
+Algorithm 1's choreography (rotation, budgets, delays, Eq. 7 fallback)
+directly assertable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.core import ClassificationDataset
+from repro.device.device import Device
+from repro.device.network import UniformDelay
+from repro.simulation.engine import RingRoundEngine, async_upload_schedule
+
+
+class LineageTrainer:
+    """Fake LocalTrainer: training by device d adds one to coordinate d."""
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+
+    def train(self, weights, shard, epochs, stream_key=(0,), **kwargs):
+        device_id = stream_key[0]
+        out = np.asarray(weights, dtype=float).copy()
+        out[device_id] += 1.0
+        return out, epochs
+
+
+def make_fleet(unit_times, dim=None):
+    dim = dim if dim is not None else len(unit_times)
+    trainer = LineageTrainer(dim)
+    shard = ClassificationDataset(np.zeros((2, 1)), np.zeros(2, dtype=int), 1)
+    return [
+        Device(i, shard, float(t), trainer) for i, t in enumerate(unit_times)
+    ]
+
+
+class TestRingRotation:
+    def test_homogeneous_three_ring_full_rotation(self):
+        """3 devices, t=1, duration=3: every final model was trained once by
+        each device (the model walked the whole ring)."""
+        devices = make_fleet([1.0, 1.0, 1.0])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        stats = engine.run_round([[0, 1, 2]], np.zeros(3), duration=3.0)
+        assert stats.units_completed == {0: 3, 1: 3, 2: 3}
+        for d in devices:
+            np.testing.assert_allclose(sorted(d.weights), [1.0, 1.0, 1.0])
+
+    def test_two_units_partial_rotation(self):
+        """Duration 2: each model saw its own device and its predecessor."""
+        devices = make_fleet([1.0, 1.0, 1.0])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        engine.run_round([[0, 1, 2]], np.zeros(3), duration=2.0)
+        # device 1's model: trained by 0 (unit 1) then by 1 (unit 2).
+        np.testing.assert_allclose(devices[1].weights, [1.0, 1.0, 0.0])
+        np.testing.assert_allclose(devices[0].weights, [1.0, 0.0, 1.0])
+
+    def test_singleton_ring_trains_alone(self):
+        """Eq. (7): no incoming models -> keep training the own model."""
+        devices = make_fleet([0.25])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        stats = engine.run_round([[0]], np.zeros(1), duration=1.0)
+        assert stats.peer_sends == 0
+        np.testing.assert_allclose(devices[0].weights, [4.0])
+
+    def test_large_delay_isolates_devices(self):
+        """Deliveries landing after the round end never get trained: every
+        device keeps training its own line (Eq. 7 fallback)."""
+        devices = make_fleet([1.0, 1.0])
+        engine = RingRoundEngine(devices, delay_model=UniformDelay(100.0),
+                                 epochs_per_unit=1)
+        engine.run_round([[0, 1]], np.zeros(2), duration=3.0)
+        np.testing.assert_allclose(devices[0].weights, [3.0, 0.0])
+        np.testing.assert_allclose(devices[1].weights, [0.0, 3.0])
+
+
+class TestUnitBudgets:
+    def test_floor_of_duration_over_time(self):
+        devices = make_fleet([1.0, 0.5, 0.25])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        stats = engine.run_round([[0], [1], [2]], np.zeros(3), duration=1.0)
+        assert stats.units_completed == {0: 1, 1: 2, 2: 4}
+
+    def test_minimum_one_unit_for_straggler(self):
+        """A device slower than the round still completes one unit
+        (Algorithm 1 line 11 always enters the loop)."""
+        devices = make_fleet([5.0])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        stats = engine.run_round([[0]], np.zeros(1), duration=1.0)
+        assert stats.units_completed == {0: 1}
+        assert stats.end_time == 5.0
+
+    def test_peer_sends_equals_units_in_multi_rings(self):
+        devices = make_fleet([1.0, 1.0, 0.5, 0.5])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        stats = engine.run_round([[0, 1], [2, 3]], np.zeros(4), duration=1.0)
+        # ring sizes > 1: every completed unit sends once.
+        assert stats.peer_sends == sum(stats.units_completed.values())
+
+
+class TestEngineValidation:
+    def test_duplicate_device_raises(self):
+        devices = make_fleet([1.0, 1.0])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        with pytest.raises(ValueError):
+            engine.run_round([[0, 1], [0]], np.zeros(2), duration=1.0)
+
+    def test_nonpositive_duration_raises(self):
+        devices = make_fleet([1.0])
+        engine = RingRoundEngine(devices, epochs_per_unit=1)
+        with pytest.raises(ValueError):
+            engine.run_round([[0]], np.zeros(1), duration=0.0)
+
+    def test_bad_combine_raises(self):
+        with pytest.raises(ValueError):
+            RingRoundEngine(make_fleet([1.0]), combine="sum")
+
+    def test_bad_epochs_raises(self):
+        with pytest.raises(ValueError):
+            RingRoundEngine(make_fleet([1.0]), epochs_per_unit=0)
+
+
+class TestCombineModes:
+    def test_average_mode_differs_from_direct(self):
+        """Fig. 2 ablation: averaging the received model with the own model
+        yields a different (blended) lineage."""
+        for mode in ("direct", "average"):
+            devices = make_fleet([1.0, 1.0])
+            engine = RingRoundEngine(devices, epochs_per_unit=1, combine=mode)
+            engine.run_round([[0, 1]], np.zeros(2), duration=2.0)
+            if mode == "direct":
+                direct = devices[0].weights.copy()
+            else:
+                averaged = devices[0].weights.copy()
+        assert not np.allclose(direct, averaged)
+        # direct: trained by 1 then 0 -> [1, 1]
+        np.testing.assert_allclose(direct, [1.0, 1.0])
+        # average: 0.5*(recv + own) + e_0 -> [1.5, 0.5]
+        np.testing.assert_allclose(averaged, [1.5, 0.5])
+
+
+class TestAsyncUploadSchedule:
+    def test_counts_per_device(self):
+        sched = async_upload_schedule({0: 1.0, 1: 0.5}, horizon=1.0)
+        by_dev = {}
+        for t, d in sched:
+            by_dev.setdefault(d, []).append(t)
+        assert by_dev[0] == [1.0]
+        assert by_dev[1] == [0.5, 1.0]
+
+    def test_sorted_by_time(self):
+        sched = async_upload_schedule({0: 0.3, 1: 0.4, 2: 0.9}, horizon=1.0)
+        times = [t for t, _ in sched]
+        assert times == sorted(times)
+
+    def test_straggler_gets_one_upload(self):
+        sched = async_upload_schedule({0: 5.0}, horizon=1.0)
+        assert sched == [(5.0, 0)]
+
+    def test_sequence_input(self):
+        sched = async_upload_schedule([1.0, 1.0], horizon=1.0)
+        assert {d for _, d in sched} == {0, 1}
+
+    def test_empty(self):
+        assert async_upload_schedule({}, horizon=1.0) == []
+
+    def test_bad_horizon_raises(self):
+        with pytest.raises(ValueError):
+            async_upload_schedule({0: 1.0}, horizon=0.0)
+
+    def test_bad_unit_time_raises(self):
+        with pytest.raises(ValueError):
+            async_upload_schedule({0: 0.0}, horizon=1.0)

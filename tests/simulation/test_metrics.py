@@ -1,0 +1,97 @@
+"""Tests for transmission metering and metrics history."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import MetricsHistory, TransmissionMeter
+
+
+class TestTransmissionMeter:
+    def test_counts_accumulate(self):
+        m = TransmissionMeter()
+        m.record_download(3)
+        m.record_upload(2)
+        m.record_peer(7)
+        assert m.server_down == 3
+        assert m.server_up == 2
+        assert m.peer == 7
+        assert m.server_total == 5
+
+    def test_model_units_scaling(self):
+        m = TransmissionMeter()
+        m.record_upload(4, model_units=2.0)  # SCAFFOLD-style
+        assert m.server_up == 8.0
+
+    def test_negative_raises(self):
+        m = TransmissionMeter()
+        with pytest.raises(ValueError):
+            m.record_download(-1)
+        with pytest.raises(ValueError):
+            m.record_upload(1, model_units=-0.5)
+
+    def test_snapshot(self):
+        m = TransmissionMeter()
+        m.record_download(1)
+        snap = m.snapshot()
+        assert snap["server_total"] == 1.0
+        assert snap["peer"] == 0.0
+
+
+class TestMetricsHistory:
+    def make_history(self):
+        h = MetricsHistory()
+        h.record(1, 1.0, 10.0, 0.3)
+        h.record(2, 2.0, 20.0, 0.55)
+        h.record(3, 3.0, 30.0, 0.5)
+        h.record(4, 4.0, 40.0, 0.7)
+        return h
+
+    def test_final_and_best(self):
+        h = self.make_history()
+        assert h.final_accuracy == 0.7
+        assert h.best_accuracy == 0.7
+        h2 = MetricsHistory()
+        h2.record(1, 1.0, 1.0, 0.9)
+        h2.record(2, 2.0, 2.0, 0.4)
+        assert h2.best_accuracy == 0.9
+
+    def test_rounds_to_target(self):
+        h = self.make_history()
+        assert h.rounds_to_target(0.5) == 2
+        assert h.rounds_to_target(0.69) == 4
+        assert h.rounds_to_target(0.9) is None
+
+    def test_transfers_to_target(self):
+        h = self.make_history()
+        assert h.transfers_to_target(0.5) == 20.0
+        assert h.transfers_to_target(0.99) is None
+
+    def test_relative_cost(self):
+        h = self.make_history()
+        assert h.relative_cost_to_target(0.5, per_round_unit=10.0) == 2.0
+        assert h.relative_cost_to_target(0.99, per_round_unit=10.0) is None
+
+    def test_relative_cost_bad_unit_raises(self):
+        with pytest.raises(ValueError):
+            self.make_history().relative_cost_to_target(0.5, 0.0)
+
+    def test_monotone_round_enforced(self):
+        h = MetricsHistory()
+        h.record(2, 1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            h.record(2, 2.0, 2.0, 0.2)
+
+    def test_monotone_transfers_enforced(self):
+        h = MetricsHistory()
+        h.record(1, 1.0, 5.0, 0.1)
+        with pytest.raises(ValueError):
+            h.record(2, 2.0, 4.0, 0.2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MetricsHistory().final_accuracy
+
+    def test_as_arrays(self):
+        arrays = self.make_history().as_arrays()
+        np.testing.assert_array_equal(arrays["rounds"], [1, 2, 3, 4])
+        assert arrays["accuracies"].dtype == np.float64

@@ -1,0 +1,41 @@
+"""Tests for RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import MetricsHistory
+from repro.simulation.results import RunResult
+
+
+def make_result(accs=(0.3, 0.6, 0.8), transfers=(10.0, 20.0, 30.0)):
+    h = MetricsHistory()
+    for i, (a, t) in enumerate(zip(accs, transfers), start=1):
+        h.record(i, float(i), t, a)
+    return RunResult(
+        method="m", dataset="d", history=h,
+        final_weights=np.zeros(3), per_round_unit=10.0,
+    )
+
+
+class TestRunResult:
+    def test_final_and_best(self):
+        r = make_result()
+        assert r.final_accuracy == 0.8
+        assert r.best_accuracy == 0.8
+
+    def test_cost_to_target(self):
+        r = make_result()
+        assert r.cost_to_target(0.6) == 2.0  # 20 transfers / 10 per round
+        assert r.cost_to_target(0.95) is None
+
+    def test_table_cell_reached(self):
+        assert make_result().table_cell(0.6) == "2.0(80.00%)"
+
+    def test_table_cell_unreached_x(self):
+        assert make_result().table_cell(0.95) == "X(80.00%)"
+
+    def test_summary_keys(self):
+        s = make_result().summary()
+        assert s["method"] == "m"
+        assert s["rounds"] == 3
+        assert s["total_server_transfers"] == 30.0

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, spec_from_args
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.method == "fedhisyn"
+        assert args.dataset == "mnist_like"
+
+    def test_spec_from_args(self):
+        args = build_parser().parse_args(
+            ["--dataset", "cifar10_like", "--devices", "8", "--beta", "0.5",
+             "--het-ratio", "4"]
+        )
+        spec = spec_from_args(args)
+        assert spec.dataset == "cifar10_like"
+        assert spec.num_devices == 8
+        assert spec.beta == 0.5
+        assert spec.het_ratio == 4.0
+
+    def test_bad_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+
+class TestMain:
+    COMMON = [
+        "--samples", "400", "--devices", "5", "--rounds", "2",
+        "--num-classes", "2", "--quiet",
+    ]
+
+    def test_single_method(self, capsys):
+        rc = main(["--method", "fedhisyn", *self.COMMON])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fedhisyn: final accuracy" in out
+
+    def test_unknown_method_error(self, capsys):
+        rc = main(["--method", "fancyfl", *self.COMMON])
+        assert rc == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_comparison_mode(self, capsys):
+        rc = main(["--method", "fedhisyn,tfedavg", *self.COMMON,
+                   "--target", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fedhisyn" in out and "tfedavg" in out
+        assert "cost@50%" in out
+
+    def test_verbose_round_log(self, capsys):
+        rc = main(["--method", "tfedavg", "--samples", "400", "--devices", "5",
+                   "--rounds", "2"])
+        assert rc == 0
+        assert "[tfedavg]" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Tests for the high-level experiment assembly."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    METHODS,
+    ExperimentSpec,
+    build_experiment,
+    build_model,
+    run_experiment,
+)
+from repro.datasets.synthetic import cifar10_like, mnist_like
+
+
+def fast_spec(**kwargs):
+    base = dict(
+        method="fedhisyn",
+        dataset="mnist_like",
+        num_samples=400,
+        num_devices=6,
+        rounds=2,
+        local_epochs=1,
+        method_kwargs={"num_classes": 2},
+    )
+    base.update(kwargs)
+    return ExperimentSpec(**base)
+
+
+class TestBuildModel:
+    def test_mlp_on_flat(self):
+        ds = mnist_like(num_samples=100, seed=0)
+        m = build_model(ds, "mlp", "small", seed=0)
+        out = m.forward(ds.x[:4], train=False)
+        assert out.shape == (4, 10)
+
+    def test_mlp_on_images_gets_flatten(self):
+        ds = cifar10_like(num_samples=100, seed=0)
+        m = build_model(ds, "mlp", "small", seed=0)
+        out = m.forward(ds.x[:4], train=False)
+        assert out.shape == (4, 10)
+
+    def test_cnn_on_images(self):
+        ds = cifar10_like(num_samples=100, seed=0)
+        m = build_model(ds, "cnn", "small", seed=0)
+        out = m.forward(ds.x[:4], train=False)
+        assert out.shape == (4, 10)
+
+    def test_cnn_on_flat_raises(self):
+        ds = mnist_like(num_samples=100, seed=0)
+        with pytest.raises(ValueError):
+            build_model(ds, "cnn", "small", seed=0)
+
+    def test_paper_preset_sizes(self):
+        ds = mnist_like(num_samples=100, seed=0)
+        m = build_model(ds, "mlp", "paper", seed=0)
+        assert m.layers[0].out_features == 200
+
+    def test_unknown_family_raises(self):
+        ds = mnist_like(num_samples=100, seed=0)
+        with pytest.raises(ValueError):
+            build_model(ds, "transformer")
+
+
+class TestBuildExperiment:
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            build_experiment(fast_spec(method="fancyfl"))
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_every_method_builds(self, method):
+        spec = fast_spec(method=method, method_kwargs={})
+        srv = build_experiment(spec)
+        assert srv.method == method
+
+    def test_device_count(self):
+        srv = build_experiment(fast_spec(num_devices=9))
+        assert len(srv.devices) == 9
+
+    def test_iid_partition(self):
+        srv = build_experiment(fast_spec(partition="iid"))
+        sizes = [d.num_samples for d in srv.devices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_het_ratio_mode(self):
+        srv = build_experiment(fast_spec(het_ratio=4.0))
+        times = np.array([d.unit_time for d in srv.devices])
+        np.testing.assert_allclose(times.max() / times.min(), 4.0)
+
+
+class TestRunExperiment:
+    def test_returns_result_with_config(self):
+        result = run_experiment(fast_spec())
+        assert result.method == "fedhisyn"
+        assert result.config["dataset"] == "mnist_like"
+        assert result.config["partition"] == "dirichlet"
+        assert len(result.history.rounds) == 2
+
+    def test_with_method_preserves_setup(self):
+        spec = fast_spec()
+        other = spec.with_method("fedavg")
+        assert other.method == "fedavg"
+        assert other.dataset == spec.dataset
+        assert other.seed == spec.seed
+
+    def test_same_seed_same_result(self):
+        a = run_experiment(fast_spec(seed=11))
+        b = run_experiment(fast_spec(seed=11))
+        np.testing.assert_array_equal(a.final_weights, b.final_weights)
+
+    def test_different_seed_different_result(self):
+        a = run_experiment(fast_spec(seed=1))
+        b = run_experiment(fast_spec(seed=2))
+        assert not np.array_equal(a.final_weights, b.final_weights)

@@ -1,0 +1,72 @@
+"""Tests for repro.utils.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.utils.config import freeze, validate_fraction, validate_non_negative, validate_positive
+
+
+class TestValidateFraction:
+    def test_accepts_half(self):
+        assert validate_fraction(0.5, "x") == 0.5
+
+    def test_accepts_one(self):
+        assert validate_fraction(1.0, "x") == 1.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="x"):
+            validate_fraction(0.0, "x")
+
+    def test_accepts_zero_when_inclusive(self):
+        assert validate_fraction(0.0, "x", inclusive_low=True) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            validate_fraction(1.01, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_fraction(-0.1, "x", inclusive_low=True)
+
+
+class TestValidatePositive:
+    def test_accepts_positive(self):
+        assert validate_positive(3, "n") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            validate_positive(bad, "n")
+
+
+class TestValidateNonNegative:
+    def test_accepts_zero(self):
+        assert validate_non_negative(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_non_negative(-1e-9, "n")
+
+
+class TestFreeze:
+    def test_dict_order_insensitive(self):
+        assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
+
+    def test_nested_hashable(self):
+        frozen = freeze({"a": [1, {"b": {2, 3}}]})
+        hash(frozen)  # must not raise
+
+    def test_dataclass(self):
+        @dataclasses.dataclass
+        class Cfg:
+            x: int
+            y: list
+
+        frozen = freeze(Cfg(x=1, y=[2, 3]))
+        assert ("x", 1) in frozen
+        hash(frozen)
+
+    def test_scalars_pass_through(self):
+        assert freeze(42) == 42
+        assert freeze("s") == "s"

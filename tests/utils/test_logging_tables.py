@@ -1,0 +1,79 @@
+"""Tests for repro.utils.logging and repro.utils.tables."""
+
+import pytest
+
+from repro.utils.logging import NullLogger, RunLogger
+from repro.utils.tables import format_cell, format_table
+
+
+class TestRunLogger:
+    def test_accumulates_records(self):
+        log = RunLogger("t")
+        log.log(round=1, acc=0.5)
+        log.log(round=2, acc=0.6)
+        assert len(log) == 2
+
+    def test_column_extraction(self):
+        log = RunLogger("t")
+        log.log(round=1, acc=0.5)
+        log.log(round=2)
+        log.log(round=3, acc=0.7)
+        assert log.column("acc") == [0.5, 0.7]
+
+    def test_last(self):
+        log = RunLogger("t")
+        log.log(acc=0.1)
+        log.log(other=1)
+        assert log.last("acc") == 0.1
+        assert log.last("missing", default=-1) == -1
+
+    def test_wall_time_recorded(self):
+        log = RunLogger("t")
+        log.log(x=1)
+        assert "wall_s" in log.records[0]
+
+    def test_verbose_writes_stream(self, capsys):
+        import sys
+
+        log = RunLogger("t", stream=sys.stdout, verbose=True)
+        log.log(x=1)
+        assert "[t]" in capsys.readouterr().out
+
+
+class TestNullLogger:
+    def test_drops_everything(self):
+        log = NullLogger()
+        log.log(x=1)
+        assert len(log) == 0
+
+
+class TestFormatCell:
+    def test_none_blank(self):
+        assert format_cell(None) == ""
+
+    def test_float_formatted(self):
+        assert format_cell(1.2345) == "1.23"
+
+    def test_int_verbatim(self):
+        assert format_cell(7) == "7"
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, None]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        assert "bb" in lines[0]
+        assert "2.50" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

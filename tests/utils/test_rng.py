@@ -1,0 +1,90 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=20)
+        b = as_generator(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator_identity(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_streams_independent(self):
+        gens = spawn_generators(7, 3)
+        draws = [g.integers(0, 1_000_000, size=10) for g in gens]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 100, 5) for g in spawn_generators(3, 2)]
+        b = [g.integers(0, 100, 5) for g in spawn_generators(3, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(0)
+        children = spawn_generators(g, 2)
+        assert len(children) == 2
+
+
+class TestSeedSequenceFactory:
+    def test_same_key_same_stream(self):
+        f = SeedSequenceFactory(1)
+        a = f.generator(3, 7).integers(0, 1_000_000, size=10)
+        b = f.generator(3, 7).integers(0, 1_000_000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        f = SeedSequenceFactory(1)
+        a = f.generator(3, 7).integers(0, 1_000_000, size=10)
+        b = f.generator(7, 3).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_key_independent_of_creation_order(self):
+        f1 = SeedSequenceFactory(5)
+        _ = f1.generator(0)  # consume an unrelated key first
+        a = f1.generator(9, 9).integers(0, 1_000_000, size=5)
+        f2 = SeedSequenceFactory(5)
+        b = f2.generator(9, 9).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_roots_differ(self):
+        a = SeedSequenceFactory(1).generator(2).integers(0, 1_000_000, size=10)
+        b = SeedSequenceFactory(2).generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generators_batch(self):
+        f = SeedSequenceFactory(0)
+        gens = f.generators([(0, 1), (0, 2)])
+        assert len(gens) == 2
+
+    def test_negative_root_raises(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)

@@ -1,0 +1,54 @@
+"""Tests for terminal sparklines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sparkline import labelled_curve, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([0.1, 0.5, 0.9])) == 3
+
+    def test_monotone_rises(self):
+        s = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert s == "".join(sorted(s))
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_mid_height(self):
+        s = sparkline([0.5, 0.5, 0.5])
+        assert len(set(s)) == 1
+
+    def test_pinned_scale(self):
+        # 0.5 on a 0..1 scale sits mid-band regardless of data range.
+        s = sparkline([0.5], lo=0.0, hi=1.0)
+        assert s in ("▄", "▅")
+
+    def test_clipping_out_of_range(self):
+        s = sparkline([-10.0, 10.0], lo=0.0, hi=1.0)
+        assert s == "▁█"
+
+    def test_bad_range_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_length_and_charset(self, values):
+        s = sparkline(values, lo=0.0, hi=1.0)
+        assert len(s) == len(values)
+        assert all(c in "▁▂▃▄▅▆▇█" for c in s)
+
+
+class TestLabelledCurve:
+    def test_contains_endpoints(self):
+        line = labelled_curve("acc", [0.1, 0.9])
+        assert "0.100" in line and "0.900" in line
+        assert line.startswith("acc")
+
+    def test_empty(self):
+        assert "(no data)" in labelled_curve("acc", [])
