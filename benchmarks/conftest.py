@@ -5,6 +5,13 @@ scale (this box has one CPU core; see DESIGN.md).  Set
 ``REPRO_BENCH_SCALE=paper`` to run closer to the paper's dimensions
 (100 devices, 100+ rounds — hours on this hardware).
 
+Benches run their experiment grids through the campaign API
+(:mod:`repro.campaign`), so two environment knobs apply to all of them:
+
+- ``REPRO_BENCH_WORKERS=N`` — fan each grid out to N worker processes.
+- ``REPRO_BENCH_CACHE=DIR`` — memoise finished runs under ``DIR``; an
+  interrupted paper-scale bench resumes instead of restarting.
+
 Benches use ``benchmark.pedantic(..., rounds=1, iterations=1)``: a federated
 training run is the measured unit; repeating it would multiply runtime
 without improving the reproduction.
@@ -14,8 +21,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Sequence
 
 import pytest
+
+from repro.campaign import Campaign, CampaignResult
+from repro.experiments import ExperimentSpec
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,37 @@ def scale() -> BenchScale:
     if name not in SCALES:
         raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
     return SCALES[name]
+
+
+def campaign_workers() -> int:
+    """Worker processes per campaign (``REPRO_BENCH_WORKERS``, default 1)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def campaign_cache_dir() -> str | None:
+    """On-disk result cache directory (``REPRO_BENCH_CACHE``, default off)."""
+    return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def run_campaign(specs: Sequence[ExperimentSpec]) -> CampaignResult:
+    """Execute a bench's spec grid under the env-configured campaign knobs."""
+    return Campaign(specs, cache_dir=campaign_cache_dir()).run(
+        workers=campaign_workers()
+    )
+
+
+def compare_on(spec: ExperimentSpec, methods, method_kwargs=None):
+    """Bench-flavoured :func:`repro.analysis.comparison.compare_methods`:
+    same name -> RunResult mapping, but honouring the campaign env knobs."""
+    from repro.analysis.comparison import compare_methods
+
+    return compare_methods(
+        spec,
+        methods=methods,
+        method_kwargs=method_kwargs,
+        workers=campaign_workers(),
+        cache_dir=campaign_cache_dir(),
+    )
 
 
 def emit(title: str, body: str) -> None:

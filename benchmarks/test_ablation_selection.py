@@ -9,36 +9,35 @@ compares against the paper's Bernoulli sampling.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
-from repro.core.selection import make_policy
-from repro.experiments import ExperimentSpec, build_experiment
+from benchmarks.conftest import emit, run_campaign
+from repro.campaign import sweep
+from repro.experiments import ExperimentSpec
 from repro.utils.tables import format_table
 
 POLICIES = ("bernoulli", "fastest", "datasize")
 
 
 def run_ablation(scale):
-    finals = {}
-    for policy_name in POLICIES:
-        spec = ExperimentSpec(
-            method="fedhisyn",
-            dataset="cifar10_like",
-            num_samples=scale.num_samples,
-            num_devices=scale.num_devices,
-            partition="dirichlet",
-            beta=0.3,
-            participation=0.5,
-            rounds=scale.rounds_hard,
-            local_epochs=scale.local_epochs,
-            model_family="mlp",
-            seed=scale.seeds[0],
-            method_kwargs={"num_classes": 5},
-        )
-        server = build_experiment(spec)
-        if policy_name != "bernoulli":
-            server.selection_policy = make_policy(policy_name, 0.5)
-        finals[policy_name] = server.fit().final_accuracy
-    return finals
+    base = ExperimentSpec(
+        method="fedhisyn",
+        dataset="cifar10_like",
+        num_samples=scale.num_samples,
+        num_devices=scale.num_devices,
+        partition="dirichlet",
+        beta=0.3,
+        participation=0.5,
+        rounds=scale.rounds_hard,
+        local_epochs=scale.local_epochs,
+        model_family="mlp",
+        seed=scale.seeds[0],
+        selection_fraction=0.5,
+        method_kwargs={"num_classes": 5},
+    )
+    # selection is an ExperimentSpec field now, so the ablation is a sweep
+    # axis ("bernoulli" with fraction 0.5 draws the identical participant
+    # sets as the server's built-in Bernoulli(0.5) sampling).
+    result = run_campaign(sweep(base, {"selection": list(POLICIES)}))
+    return {e.spec.selection: e.result.final_accuracy for e in result}
 
 
 def test_ablation_selection(benchmark, scale):

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
-from repro.experiments import ExperimentSpec, run_experiment
+from benchmarks.conftest import emit, run_campaign
+from repro.campaign import sweep
+from repro.experiments import ExperimentSpec
 from repro.utils.tables import format_table
 
 H_VALUES = (2, 5, 10, 20)
@@ -22,26 +23,30 @@ DATASET_ROUNDS = {"mnist_like": "rounds_easy", "cifar10_like": "rounds_hard"}
 
 
 def run_fig7(dataset, scale):
-    table = {}
-    for h in H_VALUES:
-        for method in ("fedhisyn", "fedavg"):
-            spec = ExperimentSpec(
-                method=method,
-                dataset=dataset,
-                num_samples=scale.num_samples,
-                num_devices=scale.num_devices,
-                partition="dirichlet",
-                beta=0.3,
-                participation=0.5,
-                het_ratio=float(h),
-                rounds=getattr(scale, DATASET_ROUNDS[dataset]),
-                local_epochs=scale.local_epochs,
-                model_family="mlp",
-                seed=scale.seeds[0],
-                method_kwargs={"num_classes": 5} if method == "fedhisyn" else {},
-            )
-            table[(h, method)] = run_experiment(spec).final_accuracy
-    return table
+    base = ExperimentSpec(
+        method="fedhisyn",
+        dataset=dataset,
+        num_samples=scale.num_samples,
+        num_devices=scale.num_devices,
+        partition="dirichlet",
+        beta=0.3,
+        participation=0.5,
+        rounds=getattr(scale, DATASET_ROUNDS[dataset]),
+        local_epochs=scale.local_epochs,
+        model_family="mlp",
+        seed=scale.seeds[0],
+    )
+    specs = sweep(
+        base,
+        {"het_ratio": [float(h) for h in H_VALUES],
+         "method": ["fedhisyn", "fedavg"]},
+        method_kwargs={"fedhisyn": {"num_classes": 5}},
+    )
+    result = run_campaign(specs)
+    return {
+        (int(e.spec.het_ratio), e.spec.method): e.result.final_accuracy
+        for e in result
+    }
 
 
 @pytest.mark.parametrize("dataset", list(DATASET_ROUNDS))

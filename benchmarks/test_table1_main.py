@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
-from repro.analysis.comparison import compare_methods
+from benchmarks.conftest import compare_on, emit
 from repro.experiments import ExperimentSpec
 from repro.utils.tables import format_table
 
@@ -58,7 +57,7 @@ def run_dataset_block(dataset: str, scale) -> list[list]:
                 model_preset=cfg["preset"],
                 seed=scale.seeds[0],
             )
-            results = compare_methods(
+            results = compare_on(
                 spec,
                 methods=METHOD_ORDER,
                 method_kwargs={"fedhisyn": {"num_classes": k}},

@@ -16,10 +16,13 @@ import numpy as np
 
 from repro.analysis.divergence import label_divergence
 from repro.analysis.observations import communication_mode_experiment
+from repro.campaign import Campaign, sweep
 from repro.datasets import dirichlet_partition, label_distribution, make_dataset, train_test_split
 from repro.device import LocalTrainer, make_devices
-from repro.experiments import ExperimentSpec, build_model, run_experiment
+from repro.experiments import ExperimentSpec, build_model
 from repro.nn.serialization import get_flat_params
+
+BETAS = (100.0, 0.8, 0.3, 0.1)
 
 
 def main() -> None:
@@ -27,9 +30,22 @@ def main() -> None:
     ds = make_dataset("cifar10_like", num_samples=1500, seed=0)
     train_set, test_set = train_test_split(ds, 0.2, seed=1)
 
+    # Full frameworks under the same split statistics, as one campaign:
+    # a beta x method grid sharing every other knob.
+    base = ExperimentSpec(
+        method="fedavg", dataset="cifar10_like", num_samples=1500,
+        num_devices=num_devices, partition="dirichlet",
+        rounds=10, local_epochs=1, model_family="mlp", seed=5,
+    )
+    specs = sweep(base, {"beta": list(BETAS), "method": ["fedavg", "fedhisyn"]},
+                  method_kwargs={"fedhisyn": {"num_classes": 4}})
+    campaign = Campaign(specs).run()
+    final = {(e.spec.beta, e.spec.method): e.result.final_accuracy
+             for e in campaign}
+
     print(f"{'beta':>6s}{'Eq.4 D':>9s}{'no-comm':>9s}{'ring':>9s}"
           f"{'fedavg':>9s}{'fedhisyn':>10s}")
-    for beta in (100.0, 0.8, 0.3, 0.1):
+    for beta in BETAS:
         parts = dirichlet_partition(train_set, num_devices, beta=beta, seed=2)
         div = label_divergence(label_distribution(train_set, parts))
 
@@ -43,17 +59,8 @@ def main() -> None:
         ring = communication_mode_experiment(
             "ring", devices, test_set, w0, rounds=10)
 
-        # Full frameworks under the same split statistics.
-        spec = ExperimentSpec(
-            method="fedavg", dataset="cifar10_like", num_samples=1500,
-            num_devices=num_devices, partition="dirichlet", beta=beta,
-            rounds=10, local_epochs=1, model_family="mlp", seed=5,
-        )
-        fedavg = run_experiment(spec)
-        fedhisyn = run_experiment(spec.with_method("fedhisyn", num_classes=4))
-
         print(f"{beta:>6.1f}{div:>9.2f}{none.final:>9.3f}{ring.final:>9.3f}"
-              f"{fedavg.final_accuracy:>9.3f}{fedhisyn.final_accuracy:>10.3f}")
+              f"{final[(beta, 'fedavg')]:>9.3f}{final[(beta, 'fedhisyn')]:>10.3f}")
 
     print(
         "\nReading: as beta falls, shards drift from the global label"

@@ -7,38 +7,47 @@ penalty), a fully asynchronous one (TAFedAvg — never waits but trains on
 stale models), and FedHiSyn (clusters same-speed devices so nobody waits
 and nothing goes stale).
 
-Run:  python examples/straggler_study.py
+The whole study is one campaign: a 4x3 grid over het_ratio x method,
+expanded by ``sweep`` and executed (optionally in parallel — pass a worker
+count as argv[1]) with every run cached under ``.repro-cache``, so
+re-running the script after an interruption only pays for missing cells.
+
+Run:  python examples/straggler_study.py [workers]
 """
 
-from repro import ExperimentSpec, run_experiment
+import sys
 
-METHODS = ("fedhisyn", "tfedavg", "tafedavg")
+from repro import ExperimentSpec
+from repro.campaign import Campaign, sweep
+
+METHODS = ["fedhisyn", "tfedavg", "tafedavg"]
 
 
 def main() -> None:
-    print("Final accuracy on cifar10_like, Dirichlet(0.3), 20 devices:\n")
-    header = f"{'H':>4s}" + "".join(f"{m:>12s}" for m in METHODS)
-    print(header)
-    print("-" * len(header))
-    for h in (2, 5, 10, 20):
-        row = f"{h:>4d}"
-        for method in METHODS:
-            spec = ExperimentSpec(
-                method=method,
-                dataset="cifar10_like",
-                num_samples=1500,
-                num_devices=20,
-                partition="dirichlet",
-                beta=0.3,
-                het_ratio=float(h),
-                rounds=12,
-                local_epochs=1,
-                model_family="mlp",
-                method_kwargs={"num_classes": 5} if method == "fedhisyn" else {},
-            )
-            result = run_experiment(spec)
-            row += f"{result.final_accuracy:>12.3f}"
-        print(row)
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    base = ExperimentSpec(
+        method="fedhisyn",
+        dataset="cifar10_like",
+        num_samples=1500,
+        num_devices=20,
+        partition="dirichlet",
+        beta=0.3,
+        rounds=12,
+        local_epochs=1,
+        model_family="mlp",
+    )
+    specs = sweep(
+        base,
+        {"het_ratio": [2.0, 5.0, 10.0, 20.0], "method": METHODS},
+        method_kwargs={"fedhisyn": {"num_classes": 5}},
+    )
+    result = Campaign(specs, cache_dir=".repro-cache").run(
+        workers=workers, progress=print
+    )
+
+    print()
+    print(result.to_table(title="final accuracy on cifar10_like, "
+                                "Dirichlet(0.3), 20 devices"))
     print(
         "\nReading: as H grows, the synchronous baseline stalls (every round"
         "\nas slow as the slowest device, one unit of work each), while"

@@ -22,13 +22,20 @@ Package layout (see DESIGN.md for the full inventory):
   transmission metering.
 - :mod:`repro.analysis` — Eq. 4 divergence, Theorem 5.1 bound, sweeps.
 - :mod:`repro.experiments` — one-config experiment assembly.
+- :mod:`repro.campaign` — sweep expansion, parallel cached campaigns,
+  seed aggregation.
+
+Methods self-register via :func:`repro.core.registry.register_method`;
+``METHODS`` is a live view over that registry.
 """
 
+from repro.campaign import Campaign, CampaignResult, sweep
 from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
+from repro.core.registry import register_method
 from repro.experiments import ExperimentSpec, METHODS, build_experiment, run_experiment
 from repro.simulation.results import RunResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FedHiSynServer",
@@ -38,5 +45,9 @@ __all__ = [
     "run_experiment",
     "RunResult",
     "METHODS",
+    "register_method",
+    "sweep",
+    "Campaign",
+    "CampaignResult",
     "__version__",
 ]

@@ -6,9 +6,10 @@ heterogeneity draw, same model init — only the algorithm differs.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
-from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments import ExperimentSpec
 from repro.simulation.results import RunResult
 from repro.utils.tables import format_table
 
@@ -19,21 +20,27 @@ def compare_methods(
     spec: ExperimentSpec,
     methods: Sequence[str] | None = None,
     method_kwargs: dict[str, dict] | None = None,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> dict[str, RunResult]:
     """Run each method on the identical experiment; returns name -> result.
 
     ``spec.seed`` fixes the dataset, the partition, the heterogeneity draw
     and the model init across methods, so differences are algorithmic.
+
+    Thin wrapper over :class:`repro.campaign.Campaign`: ``workers`` fans
+    the methods out to a process pool and ``cache_dir`` memoises each run
+    on disk, so repeated comparisons (e.g. bench re-runs) are free.
     """
+    from repro.campaign import Campaign, sweep
+
     methods = list(methods) if methods is not None else [
         "fedhisyn", "fedavg", "fedprox", "fedat", "scaffold", "tafedavg", "tfedavg",
     ]
-    method_kwargs = method_kwargs or {}
-    results: dict[str, RunResult] = {}
-    for name in methods:
-        method_spec = spec.with_method(name, **method_kwargs.get(name, {}))
-        results[name] = run_experiment(method_spec)
-    return results
+    base = spec.with_method(methods[0]) if methods else spec
+    specs = sweep(base, {"method": methods}, method_kwargs=method_kwargs)
+    campaign_result = Campaign(specs, cache_dir=cache_dir).run(workers=workers)
+    return {e.spec.method: e.result for e in campaign_result}
 
 
 def table1_cells(results: dict[str, RunResult], target: float) -> dict[str, str]:

@@ -28,14 +28,14 @@ from repro.baselines.fedprox import FedProxConfig, FedProxServer
 from repro.baselines.scaffold import ScaffoldConfig, ScaffoldServer
 from repro.baselines.tafedavg import TAFedAvgConfig, TAFedAvgServer
 from repro.baselines.tfedavg import TFedAvgConfig, TFedAvgServer
+from repro.core.registry import method_entries
 
+#: Derived from the registry (every import above has registered itself), so
+#: a new baseline module added here shows up without a second hand-edit.
 ALL_BASELINES = {
-    "fedavg": FedAvgServer,
-    "tfedavg": TFedAvgServer,
-    "tafedavg": TAFedAvgServer,
-    "fedprox": FedProxServer,
-    "fedat": FedATServer,
-    "scaffold": ScaffoldServer,
+    entry.name: entry.server_cls
+    for entry in method_entries()
+    if entry.server_cls.__module__.startswith("repro.baselines.")
 }
 
 __all__ = [

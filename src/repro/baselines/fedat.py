@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.aggregation import sample_weighted_average, weighted_average
 from repro.core.clustering import cluster_by_capacity
+from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
 from repro.simulation.engine import async_upload_schedule
@@ -38,6 +39,11 @@ class FedATConfig(ServerConfig):
             raise ValueError(f"num_tiers must be positive, got {self.num_tiers}")
 
 
+@register_method(
+    "fedat",
+    config=FedATConfig,
+    description="capacity tiers: synchronous inside, asynchronous across",
+)
 class FedATServer(FederatedServer):
     method = "fedat"
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.aggregation import sample_weighted_average
+from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
 
@@ -26,6 +27,11 @@ class FedAvgConfig(ServerConfig):
     """FedAvg has no extra hyper-parameters beyond the shared ones."""
 
 
+@register_method(
+    "fedavg",
+    config=FedAvgConfig,
+    description="asynchronous-setting FedAvg: fast devices fit extra epochs",
+)
 class FedAvgServer(FederatedServer):
     method = "fedavg"
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.baselines.fedavg import FedAvgServer
 from repro.core.aggregation import sample_weighted_average
+from repro.core.registry import register_method
 from repro.core.server import ServerConfig
 from repro.device.device import Device
 from repro.utils.config import validate_non_negative
@@ -32,6 +33,11 @@ class FedProxConfig(ServerConfig):
         validate_non_negative(self.mu, "mu")
 
 
+@register_method(
+    "fedprox",
+    config=FedProxConfig,
+    description="FedAvg plus a proximal term toward the round-start model",
+)
 class FedProxServer(FedAvgServer):
     method = "fedprox"
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
 from repro.utils.config import validate_positive
@@ -41,6 +42,11 @@ class ScaffoldConfig(ServerConfig):
         validate_positive(self.global_lr, "global_lr")
 
 
+@register_method(
+    "scaffold",
+    config=ScaffoldConfig,
+    description="synchronous control variates; each transfer costs 2 model units",
+)
 class ScaffoldServer(FederatedServer):
     method = "scaffold"
 

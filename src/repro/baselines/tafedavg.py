@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
 from repro.simulation.engine import async_upload_schedule
@@ -49,6 +50,11 @@ class TAFedAvgConfig(ServerConfig):
             )
 
 
+@register_method(
+    "tafedavg",
+    config=TAFedAvgConfig,
+    description="fully asynchronous FedAvg: immediate staleness-weighted mixing",
+)
 class TAFedAvgServer(FederatedServer):
     method = "tafedavg"
 

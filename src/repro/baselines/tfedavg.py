@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.aggregation import sample_weighted_average
+from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
 
@@ -24,6 +25,11 @@ class TFedAvgConfig(ServerConfig):
     """TFedAvg has no extra hyper-parameters beyond the shared ones."""
 
 
+@register_method(
+    "tfedavg",
+    config=TFedAvgConfig,
+    description="strictly synchronous FedAvg: the server waits for the slowest",
+)
 class TFedAvgServer(FederatedServer):
     method = "tfedavg"
 

@@ -1,28 +1,75 @@
-"""Command-line interface: run any experiment without writing code.
+"""Command-line interface: subcommands over the unified experiment API.
 
 Examples
 --------
-Run FedHiSyn on the Non-IID MNIST-role task::
+One training run, with the per-round log::
 
-    python -m repro --method fedhisyn --dataset mnist_like \
+    python -m repro run --method fedhisyn --dataset mnist_like \
         --devices 20 --rounds 12 --beta 0.3 --num-classes 5
 
-Compare several methods on one setup::
+Several methods on one identical setup::
 
-    python -m repro --method fedhisyn,fedavg,scaffold --dataset cifar10_like \
-        --rounds 15 --target 0.7
+    python -m repro compare --method fedhisyn,fedavg,scaffold \
+        --dataset cifar10_like --rounds 15 --target 0.7
+
+A campaign: grid over methods x seeds (x any spec field via ``--grid``),
+parallel workers, on-disk result cache, mean±std aggregation::
+
+    python -m repro sweep --method fedhisyn,fedavg --seeds 0,1,2 \
+        --workers 2 --cache-dir .repro-cache --grid beta=0.1,0.3
+
+What is available::
+
+    python -m repro list methods
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Any
 
-from repro.analysis.comparison import compare_methods, format_comparison
-from repro.experiments import METHODS, ExperimentSpec, run_experiment
+from repro.campaign import Campaign, CampaignResult, sweep
+from repro.core.registry import method_entries
+from repro.core.selection import SELECTION_POLICIES
 from repro.datasets.registry import DATASETS
+from repro.experiments import METHODS, ExperimentSpec, run_experiment
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "spec_from_args"]
+
+
+def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
+    """Experiment-spec options shared by ``run``, ``compare`` and ``sweep``."""
+    g = p.add_argument_group("experiment spec")
+    g.add_argument("--dataset", default="mnist_like", choices=sorted(DATASETS))
+    g.add_argument("--samples", type=int, default=2000, help="dataset size")
+    g.add_argument("--devices", type=int, default=20)
+    g.add_argument("--partition", default="dirichlet",
+                   choices=["iid", "dirichlet", "shard"])
+    g.add_argument("--beta", type=float, default=0.3,
+                   help="Dirichlet concentration (smaller = more skew)")
+    g.add_argument("--participation", type=float, default=1.0)
+    g.add_argument("--het-ratio", type=float, default=None,
+                   help="exact heterogeneity H = l_max/l_min (Eq. 13)")
+    g.add_argument("--rounds", type=int, default=12)
+    g.add_argument("--local-epochs", type=int, default=1)
+    g.add_argument("--lr", type=float, default=0.1)
+    g.add_argument("--batch-size", type=int, default=50)
+    g.add_argument("--eval-every", type=int, default=1,
+                   help="evaluate the global model every k rounds")
+    g.add_argument("--model-family", default=None, choices=["mlp", "cnn"],
+                   help="override the dataset's default model family")
+    g.add_argument("--model-preset", default="small", choices=["small", "paper"])
+    g.add_argument("--num-classes", type=int, default=5,
+                   help="FedHiSyn's K capacity clusters")
+    g.add_argument("--selection", default=None,
+                   choices=sorted(SELECTION_POLICIES),
+                   help="device-selection policy (default: the paper's "
+                        "Bernoulli participation sampling)")
+    g.add_argument("--selection-fraction", type=float, default=None,
+                   help="fraction for --selection (default: --participation)")
+    g.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,37 +78,66 @@ def build_parser() -> argparse.ArgumentParser:
         description="FedHiSyn (ICPP 2022) reproduction — federated training "
         "on a virtual-time device simulator.",
     )
-    p.add_argument("--method", default="fedhisyn",
-                   help="algorithm, or comma-separated list to compare "
-                        f"(known: {', '.join(sorted(METHODS))})")
-    p.add_argument("--dataset", default="mnist_like", choices=sorted(DATASETS))
-    p.add_argument("--samples", type=int, default=2000, help="dataset size")
-    p.add_argument("--devices", type=int, default=20)
-    p.add_argument("--partition", default="dirichlet",
-                   choices=["iid", "dirichlet", "shard"])
-    p.add_argument("--beta", type=float, default=0.3,
-                   help="Dirichlet concentration (smaller = more skew)")
-    p.add_argument("--participation", type=float, default=1.0)
-    p.add_argument("--het-ratio", type=float, default=None,
-                   help="exact heterogeneity H = l_max/l_min (Eq. 13)")
-    p.add_argument("--rounds", type=int, default=12)
-    p.add_argument("--local-epochs", type=int, default=1)
-    p.add_argument("--lr", type=float, default=0.1)
-    p.add_argument("--batch-size", type=int, default=50)
-    p.add_argument("--model-family", default=None, choices=[None, "mlp", "cnn"])
-    p.add_argument("--model-preset", default="small", choices=["small", "paper"])
-    p.add_argument("--num-classes", type=int, default=5,
-                   help="FedHiSyn's K capacity clusters")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--target", type=float, default=None,
-                   help="report transfer cost to reach this accuracy")
-    p.add_argument("--quiet", action="store_true", help="suppress per-round log")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    known = f"(known: {', '.join(sorted(METHODS))})"
+
+    run_p = sub.add_parser("run", help="one method, one training run")
+    run_p.add_argument("--method", default="fedhisyn", help=f"algorithm {known}")
+    run_p.add_argument("--target", type=float, default=None,
+                       help="report transfer cost to reach this accuracy")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress per-round log")
+    run_p.add_argument("--json", action="store_true",
+                       help="print the result as JSON instead of text")
+    _add_spec_arguments(run_p)
+
+    cmp_p = sub.add_parser("compare",
+                           help="several methods on one identical setup")
+    cmp_p.add_argument("--method", default="fedhisyn,fedavg",
+                       help=f"comma-separated algorithms {known}")
+    cmp_p.add_argument("--target", type=float, default=None,
+                       help="report transfer cost to reach this accuracy")
+    cmp_p.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes")
+    cmp_p.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk result cache")
+    cmp_p.add_argument("--json", action="store_true")
+    _add_spec_arguments(cmp_p)
+
+    sweep_p = sub.add_parser("sweep",
+                             help="campaign: methods x seeds x --grid axes, "
+                                  "parallel + cached + seed-aggregated")
+    sweep_p.add_argument("--method", default="fedhisyn",
+                         help=f"comma-separated algorithms {known}")
+    sweep_p.add_argument("--seeds", default="0",
+                         help="comma-separated seeds to replicate over")
+    sweep_p.add_argument("--grid", action="append", default=[],
+                         metavar="FIELD=V1,V2,...",
+                         help="extra sweep axis over an ExperimentSpec field "
+                              "(repeatable), e.g. --grid beta=0.1,0.3")
+    sweep_p.add_argument("--target", type=float, default=None,
+                         help="report transfer cost to reach this accuracy")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="parallel worker processes")
+    sweep_p.add_argument("--cache-dir", default=None,
+                         help="directory for the on-disk result cache")
+    sweep_p.add_argument("--json", action="store_true")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-run progress lines")
+    _add_spec_arguments(sweep_p)
+
+    list_p = sub.add_parser("list", help="show registered components")
+    list_p.add_argument("what", nargs="?", default="all",
+                        choices=["methods", "datasets", "selections", "all"])
+
     return p
 
 
-def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> ExperimentSpec:
+    """Build the base :class:`ExperimentSpec` from parsed spec options."""
     return ExperimentSpec(
-        method="fedhisyn",  # replaced per method below
+        method=method,
         dataset=args.dataset,
         num_samples=args.samples,
         num_devices=args.devices,
@@ -73,49 +149,218 @@ def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         local_epochs=args.local_epochs,
         lr=args.lr,
         batch_size=args.batch_size,
+        eval_every=args.eval_every,
         model_family=args.model_family,
         model_preset=args.model_preset,
+        selection=args.selection,
+        selection_fraction=args.selection_fraction,
         seed=args.seed,
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    methods = [m.strip() for m in args.method.split(",") if m.strip()]
-    unknown = [m for m in methods if m not in METHODS]
-    if unknown:
-        print(f"error: unknown method(s) {unknown}; known: {sorted(METHODS)}",
-              file=sys.stderr)
-        return 2
-    spec = spec_from_args(args)
-    target = args.target if args.target is not None else 0.8
+def _parse_methods(raw: str) -> tuple[list[str], list[str]]:
+    """Split a comma list into (known, unknown) method names."""
+    names = [m.strip() for m in raw.split(",") if m.strip()]
+    unknown = [m for m in names if m not in METHODS]
+    return names, unknown
 
-    if len(methods) == 1:
-        method = methods[0]
-        kwargs = {"num_classes": args.num_classes} if method == "fedhisyn" else {}
+
+def _method_kwargs_map(methods: list[str], args: argparse.Namespace) -> dict[str, dict]:
+    """Per-method extra config kwargs from CLI conveniences."""
+    return {"fedhisyn": {"num_classes": args.num_classes}} if "fedhisyn" in methods else {}
+
+
+def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
+    """``--grid field=v1,v2`` strings -> a :func:`repro.campaign.sweep` grid."""
+    grid: dict[str, list[Any]] = {}
+    for pair in pairs:
+        field_name, eq, raw_values = pair.partition("=")
+        field_name = field_name.strip().replace("-", "_")
+        if not eq or not field_name:
+            raise ValueError(f"--grid expects FIELD=V1,V2,..., got {pair!r}")
+        values = [_convert(v.strip()) for v in raw_values.split(",") if v.strip()]
+        if not values:
+            raise ValueError(f"--grid axis {field_name!r} has no values")
+        grid[field_name] = values
+    return grid
+
+
+def _convert(raw: str) -> Any:
+    """Best-effort typed grid value: int, float, none, bool, else string."""
+    lowered = raw.lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _default_target(args: argparse.Namespace) -> float:
+    if args.target is not None:
+        return args.target
+    return DATASETS[args.dataset].paper_target_accuracy
+
+
+# ------------------------------------------------------------- subcommands
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    methods, unknown = _parse_methods(args.method)
+    if unknown or len(methods) != 1:
+        if unknown:
+            print(f"error: unknown method(s) {unknown}; known: {sorted(METHODS)}",
+                  file=sys.stderr)
+        else:
+            print("error: `run` takes exactly one --method; "
+                  "use `compare` or `sweep` for several", file=sys.stderr)
+        return 2
+    method = methods[0]
+    try:
+        spec = spec_from_args(args, method=method)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = _method_kwargs_map([method], args).get(method, {})
+    if kwargs:
+        spec = spec.with_method(method, **kwargs)
+    target = _default_target(args)
+
+    logger = None
+    if not args.quiet and not args.json:
         from repro.utils.logging import RunLogger
 
-        logger = None if args.quiet else RunLogger(method, stream=sys.stdout,
-                                                   verbose=True)
-        result = run_experiment(spec.with_method(method, **kwargs), logger=logger)
-        cost = result.cost_to_target(target)
-        from repro.utils.sparkline import labelled_curve
+        logger = RunLogger(method, stream=sys.stdout, verbose=True)
+    result = run_experiment(spec, logger=logger)
+    cost = result.cost_to_target(target)
 
-        print("\n" + labelled_curve("test accuracy", result.history.accuracies))
-        print(f"{method}: final accuracy {result.final_accuracy:.4f}, "
-              f"best {result.best_accuracy:.4f}, "
-              f"cost@{target:.0%} {'X' if cost is None else f'{cost:.1f}'}")
+    if args.json:
+        print(json.dumps({
+            **result.summary(),
+            "config": result.config,
+            "target": target,
+            "cost_to_target": cost,
+            "history": result.history.to_dict(),
+        }, indent=2))
         return 0
 
-    results = compare_methods(
-        spec, methods=methods,
-        method_kwargs={"fedhisyn": {"num_classes": args.num_classes}},
-    )
-    print(format_comparison(results, target=target,
-                            title=f"{args.dataset} / {args.partition}"
-                                  f"(beta={args.beta}) / "
-                                  f"{args.participation:.0%} participation"))
+    from repro.utils.sparkline import labelled_curve
+
+    print("\n" + labelled_curve("test accuracy", result.history.accuracies))
+    print(f"{method}: final accuracy {result.final_accuracy:.4f}, "
+          f"best {result.best_accuracy:.4f}, "
+          f"cost@{target:.0%} {'X' if cost is None else f'{cost:.1f}'}")
     return 0
+
+
+def _campaign_specs(args: argparse.Namespace, seeds: list[int]) -> list[ExperimentSpec]:
+    methods, unknown = _parse_methods(args.method)
+    if unknown:
+        raise ValueError(f"unknown method(s) {unknown}; known: {sorted(METHODS)}")
+    extra_axes = _parse_grid(getattr(args, "grid", []))
+    clash = sorted(set(extra_axes) & {"method", "seed"})
+    if clash:
+        raise ValueError(
+            f"--grid cannot override {clash}; use --method/--seeds instead"
+        )
+    grid: dict[str, list[Any]] = {"method": methods, "seed": seeds, **extra_axes}
+    base = spec_from_args(args, method=methods[0])
+    return sweep(base, grid, method_kwargs=_method_kwargs_map(methods, args))
+
+
+def _run_campaign(args: argparse.Namespace, specs: list[ExperimentSpec],
+                  quiet: bool) -> CampaignResult:
+    campaign = Campaign(specs, cache_dir=args.cache_dir)
+    progress = None if (quiet or args.json) else print
+    return campaign.run(workers=args.workers, progress=progress)
+
+
+def _check_workers(args: argparse.Namespace) -> None:
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        _check_workers(args)
+        specs = _campaign_specs(args, seeds=[args.seed])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = _run_campaign(args, specs, quiet=True)
+    target = _default_target(args)
+    if args.json:
+        print(result.to_json(target=target))
+        return 0
+    title = (f"{args.dataset} / {args.partition}(beta={args.beta}) / "
+             f"{args.participation:.0%} participation")
+    print(result.to_table(target=target, title=title))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        _check_workers(args)
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        if not seeds:
+            raise ValueError("--seeds needs at least one seed")
+        specs = _campaign_specs(args, seeds=seeds)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = _run_campaign(args, specs, quiet=args.quiet)
+    target = _default_target(args)
+    if args.json:
+        print(result.to_json(target=target))
+        return 0
+    title = (f"campaign: {len(specs)} runs "
+             f"({result.cache_hits} cached), dataset {args.dataset}")
+    print(result.to_table(target=target, title=title))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    sections = []
+    if args.what in ("methods", "all"):
+        lines = ["methods:"]
+        for entry in method_entries():
+            lines.append(f"  {entry.name:<10} {entry.description}")
+        sections.append("\n".join(lines))
+    if args.what in ("datasets", "all"):
+        lines = ["datasets:"]
+        for name in sorted(DATASETS):
+            entry = DATASETS[name]
+            lines.append(
+                f"  {name:<14} family={entry.model_family} "
+                f"paper-target={entry.paper_target_accuracy:.0%} "
+                f"paper-rounds={entry.paper_rounds}"
+            )
+        sections.append("\n".join(lines))
+    if args.what in ("selections", "all"):
+        lines = ["selection policies:"]
+        for name in sorted(SELECTION_POLICIES):
+            doc = (SELECTION_POLICIES[name].__doc__ or "").strip().splitlines()[0]
+            lines.append(f"  {name:<10} {doc}")
+        sections.append("\n".join(lines))
+    print("\n\n".join(sections))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -8,6 +8,8 @@
   (Eq. 10) and sample-weighted (Eq. 3) aggregation.
 - :mod:`repro.core.server` — shared federated-server scaffolding reused by
   every baseline.
+- :mod:`repro.core.registry` — the method registry every server class
+  registers itself into (``@register_method``).
 - :mod:`repro.core.fedhisyn` — Algorithm 1.
 """
 
@@ -18,8 +20,15 @@ from repro.core.aggregation import (
 )
 from repro.core.clustering import cluster_by_capacity, equal_width_bins, kmeans_1d
 from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
+from repro.core.registry import (
+    MethodEntry,
+    available_methods,
+    get_method,
+    register_method,
+)
 from repro.core.ring import build_ring, build_ring_eq5, build_rings
 from repro.core.selection import (
+    SELECTION_POLICIES,
     BernoulliSelection,
     DataSizeSelection,
     FastestSelection,
@@ -39,7 +48,12 @@ __all__ = [
     "BernoulliSelection",
     "FastestSelection",
     "DataSizeSelection",
+    "SELECTION_POLICIES",
     "make_policy",
+    "MethodEntry",
+    "register_method",
+    "get_method",
+    "available_methods",
     "uniform_average",
     "class_time_weighted_average",
     "sample_weighted_average",

@@ -16,13 +16,14 @@ Per round the server
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.aggregation import class_time_weighted_average, uniform_average
 from repro.core.clustering import cluster_by_capacity
+from repro.core.registry import register_method
 from repro.core.ring import RING_ORDERS, build_rings
 from repro.core.server import FederatedServer, ServerConfig
 from repro.datasets.core import ClassificationDataset
@@ -64,6 +65,11 @@ class FedHiSynConfig(ServerConfig):
             raise ValueError("round_length_multiplier must be positive")
 
 
+@register_method(
+    "fedhisyn",
+    config=FedHiSynConfig,
+    description="the paper's framework: capacity-clustered ring training",
+)
 class FedHiSynServer(FederatedServer):
     """The paper's framework (Algorithm 1)."""
 

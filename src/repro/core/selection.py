@@ -24,6 +24,7 @@ __all__ = [
     "BernoulliSelection",
     "FastestSelection",
     "DataSizeSelection",
+    "SELECTION_POLICIES",
     "make_policy",
 ]
 
@@ -38,6 +39,18 @@ class SelectionPolicy:
         rng: np.random.Generator,
     ) -> list[Device]:
         raise NotImplementedError
+
+    @property
+    def expected_fraction(self) -> float | None:
+        """Expected fraction of the fleet participating per round.
+
+        The server normalizes transfer costs by the transfers of one FedAvg
+        round with this many participants (the Table 1 denominator), so a
+        policy should say how many devices it typically admits.  ``None``
+        (the default) makes the server fall back to its configured
+        participation.
+        """
+        return None
 
     @staticmethod
     def _non_empty(
@@ -55,6 +68,10 @@ class BernoulliSelection(SelectionPolicy):
         validate_fraction(participation, "participation")
         self.participation = participation
 
+    @property
+    def expected_fraction(self) -> float:
+        return self.participation
+
     def select(self, round_idx, devices, rng):
         if self.participation >= 1.0:
             return list(devices)
@@ -71,6 +88,10 @@ class FastestSelection(SelectionPolicy):
         validate_fraction(fraction, "fraction")
         self.fraction = fraction
 
+    @property
+    def expected_fraction(self) -> float:
+        return self.fraction
+
     def select(self, round_idx, devices, rng):
         k = max(1, int(round(self.fraction * len(devices))))
         ranked = sorted(devices, key=lambda d: (d.unit_time, d.device_id))
@@ -86,6 +107,10 @@ class DataSizeSelection(SelectionPolicy):
         validate_fraction(fraction, "fraction")
         self.fraction = fraction
 
+    @property
+    def expected_fraction(self) -> float:
+        return self.fraction
+
     def select(self, round_idx, devices, rng):
         k = max(1, int(round(self.fraction * len(devices))))
         sizes = np.array([d.num_samples for d in devices], dtype=np.float64)
@@ -95,13 +120,22 @@ class DataSizeSelection(SelectionPolicy):
         return [devices[i] for i in sorted(idx)]
 
 
+#: Name -> class map; ``ExperimentSpec.selection`` and the CLI's
+#: ``--selection``/``list selections`` read from it.
+SELECTION_POLICIES: dict[str, type[SelectionPolicy]] = {
+    "bernoulli": BernoulliSelection,
+    "fastest": FastestSelection,
+    "datasize": DataSizeSelection,
+}
+
+
 def make_policy(name: str, fraction: float) -> SelectionPolicy:
     """Policy factory: 'bernoulli' (paper default), 'fastest', 'datasize'."""
-    name = name.lower()
-    if name == "bernoulli":
-        return BernoulliSelection(fraction)
-    if name == "fastest":
-        return FastestSelection(fraction)
-    if name == "datasize":
-        return DataSizeSelection(fraction)
-    raise ValueError(f"unknown selection policy {name!r}")
+    try:
+        cls = SELECTION_POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown selection policy {name!r}; "
+            f"known: {sorted(SELECTION_POLICIES)}"
+        ) from None
+    return cls(fraction)

@@ -96,6 +96,15 @@ class FederatedServer:
 
     @property
     def expected_participants(self) -> float:
+        """Expected per-round participant count — the Table 1 denominator's
+        participant term.  A plugged-in selection policy that admits a
+        different fraction than ``config.participation`` must be normalized
+        by what it actually admits, or cost-to-target numbers silently stop
+        being comparable across policies."""
+        if self.selection_policy is not None:
+            fraction = getattr(self.selection_policy, "expected_fraction", None)
+            if fraction is not None:
+                return fraction * len(self.devices)
         return self.config.participation * len(self.devices)
 
     @property

@@ -13,19 +13,15 @@ and every paper-scale value remains one field away (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any
 
 import numpy as np
 
-from repro.baselines import ALL_BASELINES
-from repro.baselines.fedat import FedATConfig
-from repro.baselines.fedavg import FedAvgConfig
-from repro.baselines.fedprox import FedProxConfig
-from repro.baselines.scaffold import ScaffoldConfig
-from repro.baselines.tafedavg import TAFedAvgConfig
-from repro.baselines.tfedavg import TFedAvgConfig
-from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
+import repro.baselines  # noqa: F401  (registers the six baselines)
+import repro.core.fedhisyn  # noqa: F401  (registers fedhisyn)
+from repro.core.registry import METHOD_CONFIGS, METHOD_SERVERS, get_method
+from repro.core.selection import SELECTION_POLICIES, make_policy
 from repro.core.server import FederatedServer, ServerConfig
 from repro.datasets import make_dataset, partition_by_name, train_test_split
 from repro.datasets.core import ClassificationDataset
@@ -34,21 +30,19 @@ from repro.device import LocalTrainer, make_devices, unit_times_from_counts, uni
 from repro.device.heterogeneity import sample_unit_counts
 from repro.nn.layers import Flatten
 from repro.nn.models import Sequential, paper_cnn, paper_mlp
+from repro.utils.config import validate_fraction, validate_positive
 from repro.utils.logging import RunLogger
 
 __all__ = ["ExperimentSpec", "build_model", "build_experiment", "run_experiment", "METHODS"]
 
-METHODS = dict(ALL_BASELINES, fedhisyn=FedHiSynServer)
+#: Live views over :mod:`repro.core.registry` — ``"fedavg" in METHODS``,
+#: ``sorted(METHODS)`` and ``METHODS[name]`` behave exactly like the old
+#: hand-maintained dicts, but a ``@register_method`` class shows up in both
+#: without touching this module.
+METHODS = METHOD_SERVERS
+_METHOD_CONFIGS = METHOD_CONFIGS
 
-_METHOD_CONFIGS = {
-    "fedhisyn": FedHiSynConfig,
-    "fedavg": FedAvgConfig,
-    "tfedavg": TFedAvgConfig,
-    "tafedavg": TAFedAvgConfig,
-    "fedprox": FedProxConfig,
-    "fedat": FedATConfig,
-    "scaffold": ScaffoldConfig,
-}
+_PARTITIONS = ("iid", "dirichlet", "shard")
 
 #: Model size presets.  "paper" is the architecture of Section 6.1 verbatim;
 #: "small" shrinks widths for the single-core benchmark budget while keeping
@@ -61,7 +55,14 @@ MODEL_PRESETS: dict[str, dict[str, Any]] = {
 
 @dataclass
 class ExperimentSpec:
-    """Everything needed to reproduce one training run."""
+    """Everything needed to reproduce one training run.
+
+    Specs are plain data: :meth:`to_dict`/:meth:`from_dict` round-trip
+    losslessly through JSON, which is what the campaign runner's on-disk
+    cache and its worker processes rely on.  ``__post_init__`` validates
+    every field so a bad grid value fails at sweep-expansion time, not
+    twenty minutes into a campaign.
+    """
 
     method: str = "fedhisyn"
     dataset: str = "mnist_like"
@@ -84,11 +85,73 @@ class ExperimentSpec:
     model_family: str | None = None  # default: the dataset registry's family
     test_fraction: float = 0.2
     seed: int = 0
+    # Device-selection policy (repro.core.selection); None keeps the
+    # server's built-in Bernoulli(participation) sampling.
+    selection: str | None = None
+    selection_fraction: float | None = None  # policy fraction; default: participation
     method_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_positive(self.num_samples, "num_samples")
+        validate_positive(self.num_devices, "num_devices")
+        validate_positive(self.rounds, "rounds")
+        validate_positive(self.local_epochs, "local_epochs")
+        validate_positive(self.lr, "lr")
+        validate_positive(self.batch_size, "batch_size")
+        validate_positive(self.eval_every, "eval_every")
+        validate_positive(self.beta, "beta")
+        validate_positive(self.units_low, "units_low")
+        validate_fraction(self.participation, "participation")
+        validate_fraction(self.test_fraction, "test_fraction")
+        if self.partition not in _PARTITIONS:
+            raise ValueError(
+                f"partition must be one of {_PARTITIONS}, got {self.partition!r}"
+            )
+        if self.units_high < self.units_low:
+            raise ValueError(
+                f"units_high ({self.units_high}) must be >= units_low "
+                f"({self.units_low})"
+            )
+        if self.het_ratio is not None and self.het_ratio < 1.0:
+            raise ValueError(f"het_ratio must be >= 1, got {self.het_ratio}")
+        if self.model_preset not in MODEL_PRESETS:
+            raise ValueError(
+                f"model_preset must be one of {sorted(MODEL_PRESETS)}, "
+                f"got {self.model_preset!r}"
+            )
+        if self.model_family not in (None, "mlp", "cnn"):
+            raise ValueError(
+                f"model_family must be None, 'mlp' or 'cnn', "
+                f"got {self.model_family!r}"
+            )
+        if self.selection is not None and self.selection not in SELECTION_POLICIES:
+            raise ValueError(
+                f"selection must be one of {sorted(SELECTION_POLICIES)}, "
+                f"got {self.selection!r}"
+            )
+        if self.selection_fraction is not None:
+            validate_fraction(self.selection_fraction, "selection_fraction")
+        if not isinstance(self.method_kwargs, dict):
+            raise ValueError(
+                f"method_kwargs must be a dict, got {type(self.method_kwargs).__name__}"
+            )
 
     def with_method(self, method: str, **method_kwargs) -> "ExperimentSpec":
         """Same experiment, different algorithm — for method comparisons."""
         return replace(self, method=method, method_kwargs=dict(method_kwargs))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-serializable dict (the campaign cache/worker format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec field(s): {unknown}")
+        return cls(**data)
 
 
 def build_model(
@@ -134,8 +197,7 @@ def build_experiment(
     spec: ExperimentSpec, logger: RunLogger | None = None
 ) -> FederatedServer:
     """Assemble dataset, devices, trainer and server for ``spec``."""
-    if spec.method not in METHODS:
-        raise ValueError(f"unknown method {spec.method!r}; known: {sorted(METHODS)}")
+    entry = get_method(spec.method)  # raises ValueError for unknown methods
 
     dataset = make_dataset(spec.dataset, num_samples=spec.num_samples, seed=spec.seed)
     train_set, test_set = train_test_split(
@@ -167,8 +229,7 @@ def build_experiment(
     )
     devices = make_devices(train_set, parts, unit_times, trainer)
 
-    config_cls = _METHOD_CONFIGS[spec.method]
-    config = config_cls(
+    config = entry.config_cls(
         rounds=spec.rounds,
         participation=spec.participation,
         local_epochs=spec.local_epochs,
@@ -176,8 +237,15 @@ def build_experiment(
         seed=spec.seed + 6,
         **spec.method_kwargs,
     )
-    server_cls = METHODS[spec.method]
-    return server_cls(devices, test_set, config, logger=logger)
+    server = entry.server_cls(devices, test_set, config, logger=logger)
+    if spec.selection is not None:
+        fraction = (
+            spec.selection_fraction
+            if spec.selection_fraction is not None
+            else spec.participation
+        )
+        server.selection_policy = make_policy(spec.selection, fraction)
+    return server
 
 
 def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
@@ -191,4 +259,11 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
         num_devices=spec.num_devices,
         model_preset=spec.model_preset,
     )
+    if spec.selection is not None:
+        result.config["selection"] = spec.selection
+        result.config["selection_fraction"] = (
+            spec.selection_fraction
+            if spec.selection_fraction is not None
+            else spec.participation
+        )
     return result

@@ -123,6 +123,28 @@ class MetricsHistory:
         t = self.transfers_to_target(target)
         return None if t is None else t / per_round_unit
 
+    def to_dict(self) -> dict[str, list]:
+        """JSON-serializable copy of every recorded series."""
+        return {
+            "rounds": list(self.rounds),
+            "times": list(self.times),
+            "server_transfers": list(self.server_transfers),
+            "accuracies": list(self.accuracies),
+            "losses": list(self.losses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, list]) -> "MetricsHistory":
+        """Inverse of :meth:`to_dict` — bypasses :meth:`record` validation
+        since the series were validated when first recorded."""
+        history = cls()
+        history.rounds = [int(r) for r in data["rounds"]]
+        history.times = [float(t) for t in data["times"]]
+        history.server_transfers = [float(t) for t in data["server_transfers"]]
+        history.accuracies = [float(a) for a in data["accuracies"]]
+        history.losses = [float(l) for l in data["losses"]]
+        return history
+
     def as_arrays(self) -> dict[str, np.ndarray]:
         return {
             "rounds": np.asarray(self.rounds),

@@ -48,6 +48,32 @@ class RunResult:
             return f"X({acc:.2f}%)"
         return f"{cost:.1f}({acc:.2f}%)"
 
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless JSON-serializable form (campaign cache / worker wire
+        format).  Weights are stored as a plain float list: Python's JSON
+        encoder emits ``repr``-exact doubles, so ``from_dict`` reconstructs
+        bit-identical float64 arrays."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "history": self.history.to_dict(),
+            "final_weights": np.asarray(self.final_weights, dtype=np.float64).tolist(),
+            "per_round_unit": self.per_round_unit,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            method=data["method"],
+            dataset=data["dataset"],
+            history=MetricsHistory.from_dict(data["history"]),
+            final_weights=np.asarray(data["final_weights"], dtype=np.float64),
+            per_round_unit=float(data["per_round_unit"]),
+            config=dict(data["config"]),
+        )
+
     def summary(self) -> dict[str, Any]:
         return {
             "method": self.method,

@@ -3,13 +3,22 @@
 from __future__ import annotations
 
 import dataclasses
+import numbers
 from typing import Any
 
 __all__ = ["validate_fraction", "validate_positive", "validate_non_negative", "freeze"]
 
 
+def _require_number(value: Any, name: str) -> None:
+    # numbers.Real admits numpy scalars; bool is technically an int but a
+    # True that reaches a numeric knob is always a caller mistake.
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+
+
 def validate_fraction(value: float, name: str, *, inclusive_low: bool = False) -> float:
     """Validate that ``value`` lies in ``(0, 1]`` (or ``[0, 1]``)."""
+    _require_number(value, name)
     low_ok = value >= 0.0 if inclusive_low else value > 0.0
     if not (low_ok and value <= 1.0):
         bracket = "[0, 1]" if inclusive_low else "(0, 1]"
@@ -19,6 +28,7 @@ def validate_fraction(value: float, name: str, *, inclusive_low: bool = False) -
 
 def validate_positive(value: float, name: str) -> float:
     """Validate that ``value`` is strictly positive."""
+    _require_number(value, name)
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value}")
     return value
@@ -26,6 +36,7 @@ def validate_positive(value: float, name: str) -> float:
 
 def validate_non_negative(value: float, name: str) -> float:
     """Validate that ``value`` is >= 0."""
+    _require_number(value, name)
     if value < 0:
         raise ValueError(f"{name} must be non-negative, got {value}")
     return value

@@ -1,4 +1,6 @@
-"""Tests for the command-line interface."""
+"""Tests for the subcommand command-line interface."""
+
+import json
 
 import pytest
 
@@ -6,54 +8,156 @@ from repro.cli import build_parser, main, spec_from_args
 
 
 class TestParser:
-    def test_defaults(self):
-        args = build_parser().parse_args([])
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
         assert args.method == "fedhisyn"
         assert args.dataset == "mnist_like"
+        assert args.eval_every == 1
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
 
     def test_spec_from_args(self):
         args = build_parser().parse_args(
-            ["--dataset", "cifar10_like", "--devices", "8", "--beta", "0.5",
-             "--het-ratio", "4"]
+            ["run", "--dataset", "cifar10_like", "--devices", "8",
+             "--beta", "0.5", "--het-ratio", "4", "--eval-every", "2"]
         )
         spec = spec_from_args(args)
         assert spec.dataset == "cifar10_like"
         assert spec.num_devices == 8
         assert spec.beta == 0.5
         assert spec.het_ratio == 4.0
+        assert spec.eval_every == 2
+
+    def test_selection_args_reach_spec(self):
+        args = build_parser().parse_args(
+            ["run", "--selection", "fastest", "--selection-fraction", "0.5"]
+        )
+        spec = spec_from_args(args)
+        assert spec.selection == "fastest"
+        assert spec.selection_fraction == 0.5
 
     def test_bad_dataset_exits(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["--dataset", "imagenet"])
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_bad_model_family_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model-family", "transformer"])
 
 
-class TestMain:
-    COMMON = [
-        "--samples", "400", "--devices", "5", "--rounds", "2",
-        "--num-classes", "2", "--quiet",
-    ]
+COMMON = [
+    "--samples", "400", "--devices", "5", "--rounds", "2",
+    "--num-classes", "2",
+]
 
+
+class TestRun:
     def test_single_method(self, capsys):
-        rc = main(["--method", "fedhisyn", *self.COMMON])
+        rc = main(["run", "--method", "fedhisyn", *COMMON, "--quiet"])
         assert rc == 0
-        out = capsys.readouterr().out
-        assert "fedhisyn: final accuracy" in out
+        assert "fedhisyn: final accuracy" in capsys.readouterr().out
 
     def test_unknown_method_error(self, capsys):
-        rc = main(["--method", "fancyfl", *self.COMMON])
+        rc = main(["run", "--method", "fancyfl", *COMMON, "--quiet"])
         assert rc == 2
         assert "unknown method" in capsys.readouterr().err
 
-    def test_comparison_mode(self, capsys):
-        rc = main(["--method", "fedhisyn,tfedavg", *self.COMMON,
+    def test_multiple_methods_rejected(self, capsys):
+        rc = main(["run", "--method", "fedhisyn,fedavg", *COMMON, "--quiet"])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_verbose_round_log(self, capsys):
+        rc = main(["run", "--method", "tfedavg", "--samples", "400",
+                   "--devices", "5", "--rounds", "2"])
+        assert rc == 0
+        assert "[tfedavg]" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        rc = main(["run", "--method", "fedavg", *COMMON, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "fedavg"
+        assert len(payload["history"]["accuracies"]) == 2
+
+
+class TestCompare:
+    def test_comparison_table(self, capsys):
+        rc = main(["compare", "--method", "fedhisyn,tfedavg", *COMMON,
                    "--target", "0.5"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "fedhisyn" in out and "tfedavg" in out
         assert "cost@50%" in out
 
-    def test_verbose_round_log(self, capsys):
-        rc = main(["--method", "tfedavg", "--samples", "400", "--devices", "5",
-                   "--rounds", "2"])
+    def test_unknown_method_error(self, capsys):
+        rc = main(["compare", "--method", "fedhisyn,fancyfl", *COMMON])
+        assert rc == 2
+        assert "unknown method" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_aggregates_seeds(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0,1", *COMMON,
+                   "--quiet"])
         assert rc == 0
-        assert "[tfedavg]" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "±" in out  # mean±std over the two seeds
+        assert "2 runs" in out
+
+    def test_sweep_cache_round_trip(self, tmp_path, capsys):
+        argv = ["sweep", "--method", "fedavg", "--seeds", "0", *COMMON,
+                "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(argv) == 0
+        assert "(0 cached)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "(1 cached)" in capsys.readouterr().out
+
+    def test_sweep_grid_axis(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0",
+                   "--grid", "beta=0.3,0.8", *COMMON, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "beta" in out and "0.8" in out
+
+    def test_bad_grid_field_error(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0",
+                   "--grid", "nonsense=1,2", *COMMON, "--quiet"])
+        assert rc == 2
+        assert "unknown ExperimentSpec field" in capsys.readouterr().err
+
+    def test_bad_grid_value_error(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0",
+                   "--grid", "lr=fast", *COMMON, "--quiet"])
+        assert rc == 2
+        assert "lr must be a number" in capsys.readouterr().err
+
+    def test_zero_workers_error(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0",
+                   "--workers", "0", *COMMON, "--quiet"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0,1", *COMMON,
+                   "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["seeds"] == 2
+
+
+class TestList:
+    @pytest.mark.parametrize("what", ["methods", "datasets", "selections"])
+    def test_sections(self, what, capsys):
+        assert main(["list", what]) == 0
+        out = capsys.readouterr().out
+        assert {"methods": "fedhisyn", "datasets": "mnist_like",
+                "selections": "bernoulli"}[what] in out
+
+    def test_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "methods:" in out and "datasets:" in out

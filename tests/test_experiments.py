@@ -88,6 +88,82 @@ class TestBuildExperiment:
         np.testing.assert_allclose(times.max() / times.min(), 4.0)
 
 
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"partition": "banana"},
+            {"participation": 0.0},
+            {"participation": 1.5},
+            {"rounds": 0},
+            {"num_devices": -1},
+            {"units_low": 3, "units_high": 2},
+            {"het_ratio": 0.5},
+            {"model_preset": "huge"},
+            {"model_family": "transformer"},
+            {"selection": "psychic"},
+            {"selection_fraction": 2.0},
+            {"method_kwargs": "not-a-dict"},
+        ],
+    )
+    def test_bad_field_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            fast_spec(**kwargs)
+
+    def test_dict_round_trip(self):
+        spec = fast_spec(het_ratio=4.0, selection="datasize")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = fast_spec().to_dict()
+        data["warp_speed"] = 9
+        with pytest.raises(ValueError, match="warp_speed"):
+            ExperimentSpec.from_dict(data)
+
+
+class TestSelectionWiring:
+    def test_default_no_policy(self):
+        srv = build_experiment(fast_spec())
+        assert srv.selection_policy is None
+
+    def test_selection_field_sets_policy(self):
+        from repro.core.selection import FastestSelection
+
+        srv = build_experiment(fast_spec(selection="fastest",
+                                         selection_fraction=0.5))
+        assert isinstance(srv.selection_policy, FastestSelection)
+        assert srv.selection_policy.fraction == 0.5
+
+    def test_selection_fraction_defaults_to_participation(self):
+        srv = build_experiment(
+            fast_spec(selection="datasize", participation=0.5)
+        )
+        assert srv.selection_policy.fraction == 0.5
+
+    def test_selection_recorded_in_result(self):
+        result = run_experiment(fast_spec(selection="fastest", rounds=1,
+                                          selection_fraction=0.5))
+        assert result.config["selection"] == "fastest"
+        assert result.config["selection_fraction"] == 0.5
+
+    def test_selection_fraction_normalizes_cost_unit(self):
+        baseline = build_experiment(fast_spec())
+        srv = build_experiment(fast_spec(selection="fastest",
+                                         selection_fraction=0.5))
+        # Cost normalizer follows what the policy actually admits, not the
+        # (full) configured participation.
+        assert srv.per_round_unit == pytest.approx(0.5 * baseline.per_round_unit)
+
+    def test_fastest_selection_changes_participants(self):
+        spec = fast_spec(selection="fastest", selection_fraction=0.5,
+                         het_ratio=4.0)
+        srv = build_experiment(spec)
+        chosen = srv.select_participants(1)
+        assert len(chosen) == 3  # half of 6 devices
+        slowest = max(srv.devices, key=lambda d: d.unit_time)
+        assert slowest not in chosen
+
+
 class TestRunExperiment:
     def test_returns_result_with_config(self):
         result = run_experiment(fast_spec())

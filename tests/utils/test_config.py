@@ -49,6 +49,25 @@ class TestValidateNonNegative:
             validate_non_negative(-1e-9, "n")
 
 
+class TestNumericTypes:
+    """Non-numbers must raise ValueError (not TypeError) so callers — e.g.
+    ExperimentSpec validation of CLI --grid values — report them cleanly."""
+
+    @pytest.mark.parametrize(
+        "validator", [validate_fraction, validate_positive, validate_non_negative]
+    )
+    @pytest.mark.parametrize("bad", ["fast", None, [1], True])
+    def test_non_numbers_rejected(self, validator, bad):
+        with pytest.raises(ValueError, match="must be a number"):
+            validator(bad, "n")
+
+    def test_numpy_scalars_accepted(self):
+        import numpy as np
+
+        assert validate_positive(np.int64(3), "n") == 3
+        assert validate_fraction(np.float64(0.5), "n") == 0.5
+
+
 class TestFreeze:
     def test_dict_order_insensitive(self):
         assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
