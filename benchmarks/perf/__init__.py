@@ -1,0 +1,26 @@
+"""Tracked performance microbenchmarks.
+
+``python -m benchmarks.perf --scale quick --out BENCH_perf.json`` times the
+reproduction's hot paths — local-SGD train units, flatten/unflatten,
+aggregation, and a full FedHiSyn round — and writes the numbers to
+``BENCH_perf.json`` so every PR leaves a perf trajectory behind.
+
+Where the flat-buffer engine replaced a measurably different code path,
+the suite also runs a faithful re-implementation of the pre-flat-buffer
+("legacy") path from :mod:`benchmarks.perf.legacy` on the same inputs, so
+the JSON carries honest before/after pairs measured on the same hardware,
+plus an equality assertion that both paths produce identical weights.
+"""
+
+# NOTE: no eager imports here — `python -m benchmarks.perf` must reach
+# __main__.py's sys.path bootstrap before anything imports `repro`.
+
+__all__ = ["SCALES", "run_suite"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from benchmarks.perf import suite
+
+        return getattr(suite, name)
+    raise AttributeError(name)

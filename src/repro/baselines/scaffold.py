@@ -57,6 +57,9 @@ class ScaffoldServer(FederatedServer):
         self.device_variates: dict[int, np.ndarray] = {
             d.device_id: np.zeros(dim) for d in self.devices
         }
+        # Reusable buffer for the per-device corrected-gradient term c - c_i;
+        # the trainer only reads it while training that device.
+        self._correction = np.empty(dim)
 
     def local_epochs_for(self, device: Device, duration: float) -> int:
         """Like FedAvg: the maximum achievable epochs within the round."""
@@ -80,7 +83,7 @@ class ScaffoldServer(FederatedServer):
         delta_variate = np.zeros_like(self.server_variate)
         for dev in participants:
             c_i = self.device_variates[dev.device_id]
-            correction = self.server_variate - c_i
+            correction = np.subtract(self.server_variate, c_i, out=self._correction)
             epochs = self.local_epochs_for(dev, duration)
             y_i, steps = self.trainer.train(
                 global_weights,

@@ -130,11 +130,11 @@ class FedHiSynServer(FederatedServer):
         stack = np.stack([d.weights for d in participants])
         self.meter.record_upload(len(participants))
         if cfg.aggregation == "class_time":
-            class_mean = {}
+            # Each participant's weight is its class's mean unit time;
+            # ``classes`` holds positions into the participant order, so
+            # this fills the weight vector class-by-class, vectorized.
+            weights_vec = np.empty(len(participants))
             for cls in classes:
-                mean_t = times[cls].mean()
-                for pos in cls:
-                    class_mean[ids[pos]] = mean_t
-            weights_vec = np.array([class_mean[i] for i in ids])
+                weights_vec[cls] = times[cls].mean()
             return class_time_weighted_average(stack, weights_vec)
         return uniform_average(stack)

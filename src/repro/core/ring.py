@@ -84,17 +84,21 @@ def build_ring_eq5(
         raise ValueError("device_ids and unit_times disagree in length")
     if len(ids) <= 1:
         return ids
-    remaining = set(range(len(ids)))
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    remaining = np.ones(len(ids), dtype=bool)
     current = int(np.argmin(times))
     order = [current]
-    remaining.discard(current)
-    while remaining:
-        nxt = min(
-            remaining,
-            key=lambda j: (delay_model.delay(ids[current], ids[j]) + times[j], ids[j]),
-        )
+    remaining[current] = False
+    while remaining.any():
+        cand = np.flatnonzero(remaining)
+        # One vectorized delay-row read per hop instead of a Python min()
+        # that calls delay() per candidate — the score is Eq. 5's
+        # "time until retrained at the next hop".
+        scores = delay_model.delay_row(ids[current], ids_arr[cand]) + times[cand]
+        tied = cand[scores == scores.min()]  # ties break by device id
+        nxt = int(tied[np.argmin(ids_arr[tied])])
         order.append(nxt)
-        remaining.discard(nxt)
+        remaining[nxt] = False
         current = nxt
     return [ids[i] for i in order]
 

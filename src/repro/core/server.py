@@ -136,12 +136,13 @@ class FederatedServer:
         return max(d.unit_time for d in participants)
 
     def evaluate(self, weights: np.ndarray) -> tuple[float, float]:
-        """(accuracy, loss) of ``weights`` on the held-out test set."""
+        """(accuracy, loss) of ``weights`` on the held-out test set.
+
+        One fused pass: each test batch is forwarded once for both metrics.
+        """
         model = self.trainer.model
         set_flat_params(model, weights)
-        acc = model.accuracy(self.test_set.x, self.test_set.y)
-        loss = model.evaluate_loss(self.test_set.x, self.test_set.y)
-        return acc, loss
+        return model.evaluate_metrics(self.test_set.x, self.test_set.y)
 
     def fit(self, initial_weights: np.ndarray | None = None) -> RunResult:
         """Run ``config.rounds`` rounds and return the assembled result."""

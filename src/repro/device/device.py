@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.datasets.core import ClassificationDataset
 from repro.nn.models import Sequential
-from repro.nn.serialization import get_flat_params, set_flat_params
+from repro.nn.serialization import num_params
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = ["LocalTrainer", "Device", "make_devices"]
@@ -57,14 +57,11 @@ class LocalTrainer:
         # be combined with FL methods).
         self.momentum = momentum
         self._seeds = SeedSequenceFactory(seed)
-        # Pre-computed (start, stop, shape) slices for applying flat
-        # correction vectors directly onto parameter gradients.
-        self._slices: list[tuple[int, int, tuple[int, ...]]] = []
-        offset = 0
-        for p in model.parameters():
-            self._slices.append((offset, offset + p.size, p.shape))
-            offset += p.size
-        self.dim = offset
+        self.dim = num_params(model)
+        # Reusable d-vector for the fused update math (one per trainer; the
+        # simulation is single-threaded so one scratch buffer serves every
+        # device that shares this trainer).
+        self._scratch = np.empty(self.dim, dtype=np.float64)
 
     def train(
         self,
@@ -82,6 +79,12 @@ class LocalTrainer:
         Returns ``(new_weights, num_sgd_steps)``.  ``stream_key`` selects
         the batch-shuffling stream so results are reproducible regardless
         of device scheduling order.
+
+        The per-batch update runs as whole-vector ops on the model's flat
+        ``theta`` / ``grad`` buffers: SGD step, heavy-ball momentum, the
+        FedProx proximal pull, and the SCAFFOLD correction are each one
+        BLAS-level operation over R^d rather than a Python loop over
+        layers.
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
@@ -89,36 +92,41 @@ class LocalTrainer:
             raise ValueError("cannot train on an empty shard")
         eta = self.lr if lr is None else lr
         model = self.model
-        set_flat_params(model, weights)
-        params = model.parameters()
+        model.set_flat(weights)
+        theta = model.theta
+        grad = model.grad
+        scratch = self._scratch
         rng = self._seeds.generator(*stream_key)
-        velocity = (
-            [np.zeros_like(p.data) for p in params] if self.momentum > 0 else None
-        )
+        velocity = np.zeros(self.dim) if self.momentum > 0 else None
+        prox = anchor is not None and mu > 0.0
         steps = 0
         n = len(shard)
         for _ in range(epochs):
             order = rng.permutation(n)
+            # One shard-sized gather per epoch; batches are then contiguous
+            # views instead of per-batch fancy-index copies.
+            x_epoch = shard.x[order]
+            y_epoch = shard.y[order]
             for start in range(0, n, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                model.zero_grad()
-                model.loss_and_grad(shard.x[idx], shard.y[idx])
+                stop = start + self.batch_size
+                # loss_and_grad leaves grad holding exactly this batch's
+                # gradient (overwriting backward) — no zero fill needed.
+                model.loss_and_grad(x_epoch[start:stop], y_epoch[start:stop])
                 if correction is not None:
-                    for (lo, hi, shape), p in zip(self._slices, params):
-                        p.grad += correction[lo:hi].reshape(shape)
-                if anchor is not None and mu > 0.0:
-                    for (lo, hi, shape), p in zip(self._slices, params):
-                        p.grad += mu * (p.data - anchor[lo:hi].reshape(shape))
+                    grad += correction
+                if prox:
+                    np.subtract(theta, anchor, out=scratch)
+                    scratch *= mu
+                    grad += scratch
                 if velocity is None:
-                    for p in params:
-                        p.data -= eta * p.grad
+                    np.multiply(grad, eta, out=scratch)
                 else:
-                    for v, p in zip(velocity, params):
-                        v *= self.momentum
-                        v += p.grad
-                        p.data -= eta * v
+                    velocity *= self.momentum
+                    velocity += grad
+                    np.multiply(velocity, eta, out=scratch)
+                theta -= scratch
                 steps += 1
-        return get_flat_params(model), steps
+        return theta.copy(), steps
 
     def gradient(
         self,
@@ -128,16 +136,12 @@ class LocalTrainer:
     ) -> np.ndarray:
         """Full-batch (or given-batch) loss gradient at ``weights``, flat."""
         model = self.model
-        set_flat_params(model, weights)
-        model.zero_grad()
+        model.set_flat(weights)
         if batch_indices is None:
             model.loss_and_grad(shard.x, shard.y)
         else:
             model.loss_and_grad(shard.x[batch_indices], shard.y[batch_indices])
-        out = np.empty(self.dim)
-        for (lo, hi, _), p in zip(self._slices, model.parameters()):
-            out[lo:hi] = p.grad.ravel()
-        return out
+        return model.grad.copy()
 
 
 @dataclass

@@ -19,6 +19,15 @@ class LinkDelayModel:
     def delay(self, src: int, dst: int) -> float:
         raise NotImplementedError
 
+    def delay_row(self, src: int, dsts: np.ndarray) -> np.ndarray:
+        """Delays from ``src`` to each destination in ``dsts``, vectorized.
+
+        The base implementation loops over :meth:`delay`; subclasses
+        override it with a true vector read so hot callers (ring
+        construction under Eq. 5) stay out of per-element Python.
+        """
+        return np.array([self.delay(src, int(d)) for d in dsts], dtype=np.float64)
+
 
 class UniformDelay(LinkDelayModel):
     """Equal delay on every link (the paper's simplification; default 0)."""
@@ -30,6 +39,9 @@ class UniformDelay(LinkDelayModel):
 
     def delay(self, src: int, dst: int) -> float:
         return self._delay
+
+    def delay_row(self, src: int, dsts: np.ndarray) -> np.ndarray:
+        return np.full(len(dsts), self._delay)
 
 
 class MatrixDelay(LinkDelayModel):
@@ -45,3 +57,6 @@ class MatrixDelay(LinkDelayModel):
 
     def delay(self, src: int, dst: int) -> float:
         return float(self.matrix[src, dst])
+
+    def delay_row(self, src: int, dsts: np.ndarray) -> np.ndarray:
+        return self.matrix[src, np.asarray(dsts, dtype=np.intp)]

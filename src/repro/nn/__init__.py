@@ -6,6 +6,12 @@ equivalent minimal framework: layer objects with explicit ``forward`` /
 parameter-vector serialization so federated-learning code can treat a model
 as a point in :math:`\\mathbb{R}^d`.
 
+All trainable scalars of a :class:`~repro.nn.models.Sequential` live in one
+contiguous ``theta`` vector (gradients in a matching ``grad`` vector) that
+every ``Parameter`` views, so serialization is a single copy and optimizer
+math runs as whole-vector BLAS ops — see DESIGN.md, "Flat-buffer memory
+model".
+
 Public API
 ----------
 - :class:`~repro.nn.layers.Dense`, :class:`~repro.nn.layers.Conv2d`,

@@ -74,14 +74,29 @@ class Dense(Layer):
                 f"expected input (N, {self.in_features}), got {x.shape}"
             )
         self._x = x if train else None
-        return x @ self.weight.data + self.bias.data
+        out = x @ self.weight.data
+        out += self.bias.data
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(
+        self,
+        grad_out: np.ndarray,
+        need_input_grad: bool = True,
+        accumulate: bool = True,
+    ) -> np.ndarray | None:
+        """``accumulate=False`` writes the GEMM results straight into the
+        grad buffers (no temp, no add) — valid only when the caller treats
+        the grads as this batch's gradient, as ``Sequential.loss_and_grad``
+        does."""
         if self._x is None:
             raise RuntimeError("backward called before a training forward pass")
-        self.weight.grad += self._x.T @ grad_out
-        self.bias.grad += grad_out.sum(axis=0)
-        grad_in = grad_out @ self.weight.data.T
+        if accumulate:
+            self.weight.grad += self._x.T @ grad_out
+            self.bias.grad += grad_out.sum(axis=0)
+        else:
+            np.matmul(self._x.T, grad_out, out=self.weight.grad)
+            np.add.reduce(grad_out, axis=0, out=self.bias.grad)
+        grad_in = grad_out @ self.weight.data.T if need_input_grad else None
         self._x = None
         return grad_in
 
@@ -144,17 +159,36 @@ class Conv2d(Layer):
             self._x_shape = x.shape
         return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(
+        self,
+        grad_out: np.ndarray,
+        need_input_grad: bool = True,
+        accumulate: bool = True,
+    ) -> np.ndarray | None:
+        """See :meth:`Dense.backward` for the ``accumulate=False`` contract."""
         if self._cols is None or self._x_shape is None:
             raise RuntimeError("backward called before a training forward pass")
         n, f, oh, ow = grad_out.shape
         k = self.kernel_size
         grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, f)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        self.weight.grad += (grad_mat.T @ self._cols).reshape(self.weight.shape)
-        self.bias.grad += grad_mat.sum(axis=0)
-        grad_cols = grad_mat @ w_mat
-        grad_in = col2im(grad_cols, self._x_shape, k, k, self.stride, self.padding)
+        if accumulate:
+            self.weight.grad += (grad_mat.T @ self._cols).reshape(self.weight.shape)
+            self.bias.grad += grad_mat.sum(axis=0)
+        else:
+            np.matmul(
+                grad_mat.T,
+                self._cols,
+                out=self.weight.grad.reshape(self.out_channels, -1),
+            )
+            np.add.reduce(grad_mat, axis=0, out=self.bias.grad)
+        if need_input_grad:
+            grad_cols = grad_mat @ w_mat
+            grad_in = col2im(
+                grad_cols, self._x_shape, k, k, self.stride, self.padding
+            )
+        else:
+            grad_in = None
         self._cols = None
         self._x_shape = None
         return grad_in
@@ -177,6 +211,15 @@ class ReLU(Layer):
         grad_in = grad_out * self._mask
         self._mask = None
         return grad_in
+
+    def backward_inplace(self, grad_out: np.ndarray) -> np.ndarray:
+        """Mask ``grad_out`` in place (same values as :meth:`backward`);
+        only for callers that own the array, e.g. the fused backward loop."""
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward pass")
+        np.multiply(grad_out, self._mask, out=grad_out)
+        self._mask = None
+        return grad_out
 
 
 class Tanh(Layer):

@@ -18,9 +18,28 @@ class Loss:
     def grad(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def value_and_grad(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Fused ``(value, grad)``; the default runs the two passes.
+
+        Subclasses override this to share the expensive intermediates
+        (softmax normalization, residuals) between the two results; the
+        fused outputs must stay bitwise identical to the separate calls.
+        """
+        return self.value(logits, targets), self.grad(logits, targets)
+
 
 class SoftmaxCrossEntropy(Loss):
     """Mean softmax cross-entropy over integer class targets."""
+
+    def __init__(self) -> None:
+        self._rows = np.empty(0, dtype=np.intp)  # cached arange, grown on demand
+
+    def _row_index(self, n: int) -> np.ndarray:
+        if self._rows.size < n:
+            self._rows = np.arange(max(n, 256), dtype=np.intp)
+        return self._rows[:n]
 
     def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
         self._check(logits, targets)
@@ -36,6 +55,28 @@ class SoftmaxCrossEntropy(Loss):
         g /= n
         return g
 
+    def value_and_grad(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """One shifted-exponential computation feeds both outputs.
+
+        Mirrors ``log_softmax`` (for the value) and ``softmax`` (for the
+        gradient) operation-for-operation so the results are bitwise equal
+        to the unfused ``value`` + ``grad`` pair.
+        """
+        self._check(logits, targets)
+        n = logits.shape[0]
+        rows = self._row_index(n)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        s = e.sum(axis=1, keepdims=True)
+        g = np.divide(e, s, out=e)  # e is not needed again; reuse for g
+        np.log(s, out=s)  # s is consumed; reuse it for log Z
+        value = float(-((shifted[rows, targets] - s[:, 0]).sum() / n))
+        g[rows, targets] -= 1.0
+        g /= n
+        return value, g
+
     @staticmethod
     def _check(logits: np.ndarray, targets: np.ndarray) -> None:
         if logits.ndim != 2:
@@ -44,8 +85,13 @@ class SoftmaxCrossEntropy(Loss):
             raise ValueError(
                 f"targets must be (N,)={logits.shape[0]}, got {targets.shape}"
             )
-        if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
-            raise ValueError("target class index out of range")
+        if targets.size:
+            if targets.dtype == np.int64 and targets.flags.c_contiguous:
+                # One reduction: any negative reinterprets as a huge uint64.
+                if int(targets.view(np.uint64).max()) >= logits.shape[1]:
+                    raise ValueError("target class index out of range")
+            elif targets.min() < 0 or targets.max() >= logits.shape[1]:
+                raise ValueError("target class index out of range")
 
 
 class MSELoss(Loss):
@@ -61,3 +107,12 @@ class MSELoss(Loss):
         if logits.shape != targets.shape:
             raise ValueError(f"shape mismatch {logits.shape} vs {targets.shape}")
         return 2.0 * (logits - targets) / logits.size
+
+    def value_and_grad(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        if logits.shape != targets.shape:
+            raise ValueError(f"shape mismatch {logits.shape} vs {targets.shape}")
+        diff = logits - targets
+        value = float((diff * diff).mean())
+        return value, 2.0 * diff / logits.size

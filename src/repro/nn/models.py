@@ -26,43 +26,221 @@ __all__ = ["Sequential", "paper_mlp", "paper_cnn", "logistic_model"]
 
 
 class Sequential:
-    """A feed-forward stack of layers with a loss head."""
+    """A feed-forward stack of layers with a loss head.
+
+    All trainable scalars live in one contiguous float64 vector ``theta``
+    with a matching ``grad`` vector; every :class:`Parameter` holds reshaped
+    *views* into them.  Federated serialization
+    (:func:`~repro.nn.serialization.get_flat_params` /
+    :func:`~repro.nn.serialization.set_flat_params`) therefore collapses to
+    a single ``np.copyto`` and optimizer math can run as whole-vector BLAS
+    ops.  Mutating ``self.layers`` after construction is supported: the
+    flat buffer is rebuilt (values preserved) the next time it is touched.
+    """
 
     def __init__(self, layers: list[Layer], loss: Loss | None = None) -> None:
         if not layers:
             raise ValueError("Sequential requires at least one layer")
         self.layers = list(layers)
         self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self._flat_key: tuple[Layer, ...] | None = None
+        self._params: list[Parameter] = []
+        self._theta = np.empty(0, dtype=np.float64)
+        self._grad = np.empty(0, dtype=np.float64)
+        self._ensure_flat()
 
-    def parameters(self) -> list[Parameter]:
+    # ----------------------------------------------------- flat buffer
+
+    def __getstate__(self):
+        """Drop the flat-buffer machinery: numpy views do not survive
+        pickling (each array rehydrates standalone), so shipping the
+        buffers would silently desync the copy.  ``__setstate__`` rebuilds
+        them from the layers' (standalone) parameter values."""
+        state = self.__dict__.copy()
+        for key in (
+            "_flat_key",
+            "_params",
+            "_theta",
+            "_grad",
+            "_skip_idx",
+            "_fast_layer",
+            "_relu_layer",
+            "_overwrite_ok",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._flat_key = None
+        self._params = []
+        self._theta = np.empty(0, dtype=np.float64)
+        self._grad = np.empty(0, dtype=np.float64)
+        self._ensure_flat()
+
+    def _ensure_flat(self) -> None:
+        """(Re)base every parameter onto the shared flat buffers."""
+        # The key holds the layer objects themselves (compared by identity
+        # via tuple ==): strong references keep replaced layers alive, so
+        # a new layer can never reuse a freed layer's id and masquerade as
+        # the cached structure.
+        key = tuple(self.layers)
+        if key == self._flat_key:
+            return
         params: list[Parameter] = []
         for layer in self.layers:
             params.extend(layer.parameters())
-        return params
+        # Backward-pass fast-path eligibility.  Exact types only: a layer
+        # subclass may override backward() without the fast-path keywords,
+        # so it silently opts out of both optimizations.
+        # _skip_idx: first parameterized layer, whose input-gradient GEMM
+        # can be skipped when the caller discards input grads.
+        # _overwrite_ok: every parameterized layer can write its gradient
+        # in place of (rather than into) the grad buffer.
+        self._skip_idx = -1
+        for i, layer in enumerate(self.layers):
+            if layer.parameters():
+                if type(layer) in (Conv2d, Dense):
+                    self._skip_idx = i
+                break
+        self._fast_layer = [type(layer) in (Conv2d, Dense) for layer in self.layers]
+        self._relu_layer = [type(layer) is ReLU for layer in self.layers]
+        self._overwrite_ok = all(
+            fast
+            for fast, layer in zip(self._fast_layer, self.layers)
+            if layer.parameters()
+        )
+        dim = sum(p.size for p in params)
+        theta = np.empty(dim, dtype=np.float64)
+        grad = np.empty(dim, dtype=np.float64)
+        offset = 0
+        for p in params:
+            lo, hi = offset, offset + p.size
+            p._rebase(
+                theta[lo:hi].reshape(p.shape),
+                grad[lo:hi].reshape(p.shape),
+                (theta, grad, lo, hi),
+            )
+            offset = hi
+        self._params = params
+        self._theta = theta
+        self._grad = grad
+        self._flat_key = key
+
+    @property
+    def theta(self) -> np.ndarray:
+        """The contiguous parameter vector every ``Parameter.data`` views."""
+        self._ensure_flat()
+        return self._theta
+
+    @property
+    def grad(self) -> np.ndarray:
+        """The contiguous gradient vector every ``Parameter.grad`` views."""
+        self._ensure_flat()
+        return self._grad
+
+    @property
+    def dim(self) -> int:
+        """Total number of trainable scalars (cached; no per-call sum)."""
+        self._ensure_flat()
+        return self._theta.size
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        """Load a flat vector into ``theta`` (one ``np.copyto``)."""
+        self._ensure_flat()
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != self._theta.shape:
+            raise ValueError(
+                f"expected vector of length {self._theta.size}, got {flat.shape}"
+            )
+        np.copyto(self._theta, flat)
+
+    # ------------------------------------------------------- training
+
+    def parameters(self) -> list[Parameter]:
+        self._ensure_flat()
+        return list(self._params)
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, train=train)
         return x
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
-            grad = layer.backward(grad)
+    def backward(
+        self,
+        grad: np.ndarray,
+        need_input_grad: bool = True,
+        overwrite: bool = False,
+    ) -> np.ndarray | None:
+        """Backpropagate ``grad`` through all layers.
+
+        With ``need_input_grad=False`` the pass stops after the lowest
+        parameterized layer and skips that layer's input-gradient GEMM —
+        nothing below it has gradients to accumulate, so training loops
+        that discard the returned input gradient save the widest matmul of
+        the backward pass (the first layer touches the raw features).
+
+        With ``overwrite=True`` standard layers write their gradients in
+        place of the grad buffer instead of accumulating, so the caller
+        does not need to zero gradients first; requires every
+        parameterized layer to support it (``self._overwrite_ok``).  The
+        ``grad`` argument may be reused as scratch in this mode.
+        """
+        if not need_input_grad or overwrite:
+            self._ensure_flat()
+        if overwrite and not self._overwrite_ok:
+            raise ValueError(
+                "overwrite=True requires every parameterized layer to be a "
+                "standard Dense/Conv2d (a subclass or custom layer would "
+                "silently accumulate instead)"
+            )
+        return self._backward(grad, need_input_grad, overwrite)
+
+    def _backward(
+        self, grad: np.ndarray, need_input_grad: bool, overwrite: bool
+    ) -> np.ndarray | None:
+        """Backward loop; the caller guarantees ``_ensure_flat`` ran when
+        the skip/overwrite fast paths are requested."""
+        stop = self._skip_idx if not need_input_grad else -1
+        layers = self.layers
+        fast_layer = self._fast_layer
+        for i in range(len(layers) - 1, -1, -1):
+            layer = layers[i]
+            fast = overwrite and fast_layer[i]
+            if i == stop:
+                layer.backward(grad, need_input_grad=False, accumulate=not fast)
+                return None
+            if fast:
+                grad = layer.backward(grad, accumulate=False)
+            elif overwrite and self._relu_layer[i]:
+                # The inter-layer grad array is loop-private here, so the
+                # ReLU mask can be applied in place.
+                grad = layer.backward_inplace(grad)
+            else:
+                grad = layer.backward(grad)
         return grad
 
     def zero_grad(self) -> None:
-        for p in self.parameters():
-            p.zero_grad()
+        self._ensure_flat()
+        self._grad[...] = 0.0
 
     def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> float:
         """One fused training pass: forward, loss, backward.
 
-        Gradients accumulate into the parameters; the caller steps an
-        optimizer afterwards.
+        On return the parameter gradients hold exactly this batch's
+        gradients (no pre-zeroing needed); the caller steps an optimizer
+        afterwards.  The loss head's value and logit gradient come from
+        one fused computation, and standard layers write their gradients
+        via overwriting GEMMs instead of zero-then-accumulate.
         """
+        self._ensure_flat()
         logits = self.forward(x, train=True)
-        value = self.loss.value(logits, y)
-        self.backward(self.loss.grad(logits, y))
+        value, logit_grad = self.loss.value_and_grad(logits, y)
+        if self._overwrite_ok:
+            self._backward(logit_grad, need_input_grad=False, overwrite=True)
+        else:
+            self._grad[...] = 0.0
+            self._backward(logit_grad, need_input_grad=False, overwrite=False)
         return value
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
@@ -89,6 +267,27 @@ class Sequential:
             logits = self.forward(xb, train=False)
             total += self.loss.value(logits, yb) * xb.shape[0]
         return total / n
+
+    def evaluate_metrics(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> tuple[float, float]:
+        """(accuracy, mean loss) over (x, y) in a single forward sweep.
+
+        Equivalent to ``(self.accuracy(x, y), self.evaluate_loss(x, y))``
+        but runs each batch's forward pass once instead of twice.
+        """
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot evaluate metrics on an empty set")
+        correct = 0
+        total = 0.0
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.forward(xb, train=False)
+            correct += int((logits.argmax(axis=1) == yb).sum())
+            total += self.loss.value(logits, yb) * xb.shape[0]
+        return correct / n, total / n
 
 
 def paper_mlp(

@@ -4,6 +4,13 @@
 ``F_i(w) + (mu/2)||w - w_anchor||^2`` by adding ``mu (w - w_anchor)`` to every
 step — the anchor is the global model the device received at the start of
 the round.
+
+When the parameter list is backed by one contiguous flat buffer (every
+``Parameter`` of a :class:`~repro.nn.models.Sequential` views a span of the
+model's ``theta`` / ``grad`` vectors), the update fuses into whole-vector
+BLAS ops on that span instead of a Python loop over layers.  The fused and
+per-parameter paths apply the same elementwise arithmetic, so results are
+bitwise identical.
 """
 
 from __future__ import annotations
@@ -13,6 +20,28 @@ import numpy as np
 from repro.nn.tensor import Parameter
 
 __all__ = ["LRSchedule", "ConstantLR", "InverseTimeLR", "SGD", "ProximalSGD"]
+
+
+def _flat_span(
+    params: list[Parameter],
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """(theta_span, grad_span) if ``params`` tile one contiguous flat range.
+
+    Requires every parameter to be flat-backed by the *same* buffer pair,
+    in order, with no gaps — exactly what ``Sequential`` constructs.
+    """
+    if not params:
+        return None
+    first = params[0]._flat
+    if first is None:
+        return None
+    theta, grad_vec, lo0, hi = first
+    for p in params[1:]:
+        f = p._flat
+        if f is None or f[0] is not theta or f[2] != hi:
+            return None
+        hi = f[3]
+    return theta[lo0:hi], grad_vec[lo0:hi]
 
 
 class LRSchedule:
@@ -74,9 +103,44 @@ class SGD:
         self.momentum = momentum
         self.weight_decay = weight_decay
         self.step_count = 0
-        self._velocity: list[np.ndarray] | None = (
-            [np.zeros_like(p.data) for p in self.params] if momentum > 0 else None
-        )
+        self._span = _flat_span(self.params)
+        if self._span is not None:
+            self._velocity = [np.zeros_like(self._span[0])] if momentum > 0 else None
+        else:
+            self._velocity = (
+                [np.zeros_like(p.data) for p in self.params] if momentum > 0 else None
+            )
+
+    def _current_span(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The fused span, revalidated against the parameters' live backing.
+
+        A layer-list mutation makes ``Sequential`` reallocate and rebase
+        its flat buffers; a span cached at construction would then view
+        the orphaned old buffers and steps would silently go nowhere.  The
+        identity check is O(1); a rebase triggers one re-derivation.  The
+        momentum state stays valid across a rebase because the span covers
+        the same parameters in the same order.
+        """
+        span = self._span
+        if span is None:
+            return None
+        flat = self.params[0]._flat
+        if flat is not None and flat[0] is span[0].base:
+            return span
+        self._span = _flat_span(self.params)
+        if self._span is None and self._velocity is not None and len(self.params) > 1:
+            # The params are no longer one contiguous span (e.g. a
+            # parameterized layer was spliced between them): split the
+            # fused velocity back onto the per-parameter layout.
+            flat_v = self._velocity[0]
+            per_param, offset = [], 0
+            for p in self.params:
+                per_param.append(
+                    flat_v[offset : offset + p.size].reshape(p.shape).copy()
+                )
+                offset += p.size
+            self._velocity = per_param
+        return self._span
 
     @property
     def lr(self) -> float:
@@ -84,24 +148,46 @@ class SGD:
         return self.schedule.rate(self.step_count)
 
     def zero_grad(self) -> None:
+        span = self._current_span()
+        if span is not None:
+            span[1][...] = 0.0
+            return
         for p in self.params:
             p.zero_grad()
 
-    def _apply(self, p: Parameter, update: np.ndarray, eta: float, idx: int) -> None:
+    def _apply(self, data: np.ndarray, update: np.ndarray, eta: float, idx: int) -> None:
         if self._velocity is not None:
             v = self._velocity[idx]
             v *= self.momentum
             v += update
             update = v
-        p.data -= eta * update
+        data -= eta * update
+
+    def _extra_term(self, data: np.ndarray, idx: int) -> np.ndarray | None:
+        """Hook for subclasses: an additive gradient term (or None)."""
+        return None
 
     def step(self) -> None:
         eta = self.schedule.rate(self.step_count)
-        for i, p in enumerate(self.params):
-            update = p.grad
+        span = self._current_span()
+        if span is not None:
+            theta, grad = span
+            update = grad
+            extra = self._extra_term(theta, 0)
+            if extra is not None:
+                update = update + extra
             if self.weight_decay:
-                update = update + self.weight_decay * p.data
-            self._apply(p, update, eta, i)
+                update = update + self.weight_decay * theta
+            self._apply(theta, update, eta, 0)
+        else:
+            for i, p in enumerate(self.params):
+                update = p.grad
+                extra = self._extra_term(p.data, i)
+                if extra is not None:
+                    update = update + extra
+                if self.weight_decay:
+                    update = update + self.weight_decay * p.data
+                self._apply(p.data, update, eta, i)
         self.step_count += 1
 
 
@@ -122,17 +208,34 @@ class ProximalSGD(SGD):
         self.mu = mu
         self._anchor: list[np.ndarray] | None = None
 
+    def _current_span(self) -> tuple[np.ndarray, np.ndarray] | None:
+        span = super()._current_span()
+        if span is None and self._anchor is not None and len(self._anchor) == 1 \
+                and len(self.params) > 1:
+            # Mirror the velocity conversion: split a fused anchor back
+            # onto the per-parameter layout.
+            flat_a = self._anchor[0]
+            per_param, offset = [], 0
+            for p in self.params:
+                per_param.append(
+                    flat_a[offset : offset + p.size].reshape(p.shape).copy()
+                )
+                offset += p.size
+            self._anchor = per_param
+        return span
+
     def set_anchor(self) -> None:
         """Snapshot current parameters as the proximal anchor w_global."""
-        self._anchor = [p.data.copy() for p in self.params]
+        span = self._current_span()
+        if span is not None:
+            self._anchor = [span[0].copy()]
+        else:
+            self._anchor = [p.data.copy() for p in self.params]
+
+    def _extra_term(self, data: np.ndarray, idx: int) -> np.ndarray | None:
+        return self.mu * (data - self._anchor[idx])
 
     def step(self) -> None:
         if self._anchor is None:
             raise RuntimeError("call set_anchor() before stepping ProximalSGD")
-        eta = self.schedule.rate(self.step_count)
-        for i, p in enumerate(self.params):
-            update = p.grad + self.mu * (p.data - self._anchor[i])
-            if self.weight_decay:
-                update = update + self.weight_decay * p.data
-            self._apply(p, update, eta, i)
-        self.step_count += 1
+        super().step()

@@ -4,6 +4,12 @@ Federated-learning algorithms treat a model as a point in R^d: aggregation
 is vector arithmetic, transmission cost is ``d`` floats.  These helpers
 convert between a model's :class:`~repro.nn.tensor.Parameter` list and one
 contiguous float64 vector, in a stable order.
+
+For :class:`~repro.nn.models.Sequential` (which already stores all
+parameters in one contiguous ``theta`` / ``grad`` vector, with per-layer
+views into it) every helper is a single ``np.copyto`` and ``num_params``
+is an attribute read.  The per-parameter loops remain as the fallback for
+duck-typed models that only expose ``parameters()``.
 """
 
 from __future__ import annotations
@@ -14,8 +20,20 @@ __all__ = ["num_params", "get_flat_params", "set_flat_params", "get_flat_grads"]
 
 
 def num_params(model) -> int:
-    """Total number of scalar parameters in ``model``."""
+    """Total number of scalar parameters in ``model`` (cached when the
+    model exposes a ``dim`` attribute, as ``Sequential`` does)."""
+    dim = getattr(model, "dim", None)
+    if dim is not None:
+        return int(dim)
     return sum(p.size for p in model.parameters())
+
+
+def _check_out(out: np.ndarray | None, total: int) -> np.ndarray:
+    if out is None:
+        return np.empty(total, dtype=np.float64)
+    if out.shape != (total,):
+        raise ValueError(f"out must have shape ({total},), got {out.shape}")
+    return out
 
 
 def get_flat_params(model, out: np.ndarray | None = None) -> np.ndarray:
@@ -23,11 +41,13 @@ def get_flat_params(model, out: np.ndarray | None = None) -> np.ndarray:
 
     Pass ``out`` to reuse a buffer (hot aggregation loops).
     """
+    theta = getattr(model, "theta", None)
+    if theta is not None:
+        out = _check_out(out, theta.size)
+        np.copyto(out, theta)
+        return out
     total = num_params(model)
-    if out is None:
-        out = np.empty(total, dtype=np.float64)
-    elif out.shape != (total,):
-        raise ValueError(f"out must have shape ({total},), got {out.shape}")
+    out = _check_out(out, total)
     offset = 0
     for p in model.parameters():
         out[offset : offset + p.size] = p.data.ravel()
@@ -41,6 +61,10 @@ def set_flat_params(model, flat: np.ndarray) -> None:
     flat = np.asarray(flat, dtype=np.float64)
     if flat.shape != (total,):
         raise ValueError(f"expected vector of length {total}, got {flat.shape}")
+    theta = getattr(model, "theta", None)
+    if theta is not None:
+        np.copyto(theta, flat)
+        return
     offset = 0
     for p in model.parameters():
         p.data[...] = flat[offset : offset + p.size].reshape(p.shape)
@@ -49,11 +73,13 @@ def set_flat_params(model, flat: np.ndarray) -> None:
 
 def get_flat_grads(model, out: np.ndarray | None = None) -> np.ndarray:
     """Concatenate all parameter gradients into one float64 vector."""
+    grad = getattr(model, "grad", None)
+    if isinstance(grad, np.ndarray):
+        out = _check_out(out, grad.size)
+        np.copyto(out, grad)
+        return out
     total = num_params(model)
-    if out is None:
-        out = np.empty(total, dtype=np.float64)
-    elif out.shape != (total,):
-        raise ValueError(f"out must have shape ({total},), got {out.shape}")
+    out = _check_out(out, total)
     offset = 0
     for p in model.parameters():
         out[offset : offset + p.size] = p.grad.ravel()

@@ -4,6 +4,12 @@ A :class:`Parameter` pairs a value array with a same-shaped gradient buffer.
 Both are plain ``float64`` ndarrays; optimizers mutate ``data`` in place so
 views handed out elsewhere stay valid (guide: in-place ops, views not
 copies).
+
+When a parameter belongs to a :class:`~repro.nn.models.Sequential`, its
+``data`` and ``grad`` are *views* into the model's contiguous ``theta`` /
+``grad`` vectors (see DESIGN.md, "Flat-buffer memory model").  ``_flat``
+records that backing as ``(theta, grad_vec, lo, hi)`` so whole-vector
+consumers (fused optimizers) can detect contiguous spans.
 """
 
 from __future__ import annotations
@@ -16,12 +22,13 @@ __all__ = ["Parameter"]
 class Parameter:
     """A trainable array with an accumulated gradient."""
 
-    __slots__ = ("data", "grad", "name")
+    __slots__ = ("data", "grad", "name", "_flat")
 
     def __init__(self, data: np.ndarray, name: str = "param") -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad = np.zeros_like(self.data)
         self.name = name
+        self._flat: tuple[np.ndarray, np.ndarray, int, int] | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -36,10 +43,33 @@ class Parameter:
         self.grad[...] = 0.0
 
     def copy(self) -> "Parameter":
-        """Deep copy (data and grad)."""
+        """Deep copy (data and grad) — always standalone arrays, never views."""
         p = Parameter(self.data.copy(), self.name)
         p.grad = self.grad.copy()
         return p
+
+    def __getstate__(self):
+        """Pickle values only: views and the flat-backing record do not
+        survive serialization (the owning model rebuilds them, see
+        ``Sequential.__setstate__``)."""
+        return (self.data, self.grad, self.name)
+
+    def __setstate__(self, state) -> None:
+        self.data, self.grad, self.name = state
+        self._flat = None
+
+    def _rebase(
+        self,
+        data_view: np.ndarray,
+        grad_view: np.ndarray,
+        flat: tuple[np.ndarray, np.ndarray, int, int],
+    ) -> None:
+        """Move storage onto externally-owned views, preserving values."""
+        data_view[...] = self.data
+        grad_view[...] = self.grad
+        self.data = data_view
+        self.grad = grad_view
+        self._flat = flat
 
     def __repr__(self) -> str:
         return f"Parameter(name={self.name!r}, shape={self.shape})"

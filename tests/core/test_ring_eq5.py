@@ -60,3 +60,76 @@ class TestBuildRingEq5:
         ring = build_ring_eq5(ids, times, MatrixDelay(delays))
         assert sorted(ring) == ids
         assert ring[0] == int(np.argmin(times))  # starts at the fastest
+
+
+def brute_force_eq5(device_ids, unit_times, delay_model):
+    """The pre-vectorization greedy loop: Python min() over candidates."""
+    ids = list(device_ids)
+    times = np.asarray(unit_times, dtype=np.float64)
+    if len(ids) <= 1:
+        return ids
+    remaining = set(range(len(ids)))
+    current = int(np.argmin(times))
+    order = [current]
+    remaining.discard(current)
+    while remaining:
+        nxt = min(
+            remaining,
+            key=lambda j: (delay_model.delay(ids[current], ids[j]) + times[j], ids[j]),
+        )
+        order.append(nxt)
+        remaining.discard(nxt)
+        current = nxt
+    return [ids[i] for i in order]
+
+
+class TestVectorizedMatchesBruteForce:
+    """The argmin-over-delay-row construction must pick exactly the hops
+    the original O(n^2) Python min() picked, ties included."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_identical_rings(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ids = list(rng.permutation(10_000)[:n])
+        times = rng.uniform(0.1, 1.0, size=n)
+        delays = rng.uniform(0.0, 0.5, size=(n, n))
+        np.fill_diagonal(delays, 0.0)
+        # Index the matrix by position, not id, via a wrapper.
+        pos = {i: k for k, i in enumerate(ids)}
+
+        class PosDelay(MatrixDelay):
+            def delay(self, src, dst):
+                return float(self.matrix[pos[src], pos[dst]])
+
+            def delay_row(self, src, dsts):
+                cols = np.array([pos[int(d)] for d in dsts])
+                return self.matrix[pos[src], cols]
+
+        model = PosDelay(delays)
+        assert build_ring_eq5(ids, times, model) == brute_force_eq5(
+            ids, times, model
+        )
+
+    def test_tie_breaks_by_device_id(self):
+        """Equal scores must resolve to the smallest device id."""
+        ids = [42, 7, 19]
+        times = [0.5, 0.2, 0.5]  # 42 and 19 tie after starting at 7
+        ring = build_ring_eq5(ids, times, UniformDelay(0.3))
+        assert ring == [7, 19, 42]
+
+    def test_base_class_delay_row_matches_scalar(self):
+        from repro.device.network import LinkDelayModel
+
+        class Affine(LinkDelayModel):
+            def delay(self, src, dst):
+                return 0.1 * src + 0.01 * dst
+
+        m = Affine()
+        dsts = np.array([3, 1, 4])
+        np.testing.assert_allclose(
+            m.delay_row(2, dsts), [m.delay(2, 3), m.delay(2, 1), m.delay(2, 4)]
+        )
