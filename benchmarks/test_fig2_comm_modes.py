@@ -13,7 +13,6 @@ distributions; ring-based communication is at least as good as random.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.observations import COMMUNICATION_MODES, communication_mode_experiment

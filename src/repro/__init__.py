@@ -18,6 +18,8 @@ Package layout (see DESIGN.md for the full inventory):
 - :mod:`repro.nn` — pure-NumPy neural networks (the paper's MLP and CNN).
 - :mod:`repro.datasets` — synthetic dataset generators + partitioners.
 - :mod:`repro.device` — device model, heterogeneity, link delays.
+- :mod:`repro.env` — pluggable environments: network latency/bandwidth,
+  message loss, device availability, named presets (``ideal`` … ``wan``).
 - :mod:`repro.simulation` — virtual clock, event queue, ring engine,
   transmission metering.
 - :mod:`repro.analysis` — Eq. 4 divergence, Theorem 5.1 bound, sweeps.
@@ -32,10 +34,11 @@ Methods self-register via :func:`repro.core.registry.register_method`;
 from repro.campaign import Campaign, CampaignResult, sweep
 from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
 from repro.core.registry import register_method
+from repro.env import Environment, make_environment, register_environment
 from repro.experiments import ExperimentSpec, METHODS, build_experiment, run_experiment
 from repro.simulation.results import RunResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FedHiSynServer",
@@ -46,6 +49,9 @@ __all__ = [
     "RunResult",
     "METHODS",
     "register_method",
+    "Environment",
+    "make_environment",
+    "register_environment",
     "sweep",
     "Campaign",
     "CampaignResult",

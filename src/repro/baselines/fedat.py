@@ -1,14 +1,21 @@
 """FedAT baseline (Chai et al., SC'21): synchronous tiers, asynchronous
 cross-tier updates.
 
-Participants are clustered into ``num_tiers`` capacity tiers (same 1-D
-k-means the paper's own framework uses).  A tier runs an internal
-synchronous FedAvg round that lasts as long as its *own* slowest member —
-so fast tiers complete several tier-rounds while the slowest completes one.
-Each tier-round uploads a tier model, and the server rebuilds the global
-model as a cross-tier weighted average that favours *less frequently
-updating* (slower) tiers, FedAT's inverse-frequency compensation for
-update-rate bias.
+Devices are clustered into ``num_tiers`` capacity tiers (same 1-D k-means
+the paper's own framework uses).  A tier runs an internal synchronous
+FedAvg round that lasts as long as its *own* slowest member — so fast
+tiers complete several tier-rounds while the slowest completes one.  Each
+tier-round uploads a tier model, and the server rebuilds the global model
+as a cross-tier weighted average that favours *less frequently updating*
+(slower) tiers, FedAT's inverse-frequency compensation for update-rate
+bias.
+
+Tier identity is **stable across rounds**: the fleet is clustered once at
+construction (unit times never change), and each round's participants are
+grouped by their fixed tier.  Clustering the per-round participant list
+instead — as the seed code did — made "tier m" mean a different device
+population from round to round under partial participation, silently
+averaging unrelated models in ``_tier_models``.
 """
 
 from __future__ import annotations
@@ -49,8 +56,17 @@ class FedATServer(FederatedServer):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        # Tier models persist across rounds; keyed by tier index after the
-        # per-round clustering (tiers are stable because unit times are).
+        # Fixed fleet-wide tier assignment (tier 0 = fastest).  Keying the
+        # cross-round tier state by this stable id — not by the index of a
+        # per-round re-clustering — is what keeps ``_tier_models[m]`` the
+        # history of one device population under partial participation.
+        num_tiers = getattr(self.config, "num_tiers", 5)
+        times = np.array([d.unit_time for d in self.devices])
+        classes = cluster_by_capacity(times, min(num_tiers, len(self.devices)))
+        self.device_tier: dict[int, int] = {}
+        for tier_idx, members in enumerate(classes):
+            for pos in members:
+                self.device_tier[self.devices[pos].device_id] = tier_idx
         self._tier_models: dict[int, np.ndarray] = {}
         self._tier_update_counts: dict[int, int] = {}
 
@@ -77,22 +93,32 @@ class FedATServer(FederatedServer):
     ) -> np.ndarray:
         cfg: FedATConfig = self.config  # type: ignore[assignment]
         duration = self.round_duration(participants)
-        times = np.array([d.unit_time for d in participants])
-        tiers = cluster_by_capacity(times, min(cfg.num_tiers, len(participants)))
+
+        # This round's participants grouped by their stable tier, in
+        # participant order; absent tiers simply run no tier-round.
+        members_by_tier: dict[int, list[Device]] = {}
+        for dev in participants:
+            members_by_tier.setdefault(self.device_tier[dev.device_id], []).append(dev)
 
         current = global_weights
         # Tier-round completion times over this reporting round: tier m
-        # finishes a tier-round every max-unit-time-in-tier.
-        tier_span = {m: float(times[idx].max()) for m, idx in enumerate(tiers)}
+        # finishes a tier-round every max-unit-time-in-tier (among the
+        # members actually present this round).
+        tier_span = {
+            t: float(max(d.unit_time for d in members))
+            for t, members in members_by_tier.items()
+        }
         schedule = async_upload_schedule(tier_span, duration)
 
         unit_counter = {d.device_id: 0 for d in participants}
         for _time, tier_idx in schedule:
-            members = [participants[i] for i in tiers[tier_idx]]
+            members = members_by_tier[tier_idx]
             # Tier-synchronous FedAvg round from the current global model.
-            self.meter.record_download(len(members))
-            stack = np.empty((len(members), self.trainer.dim))
-            for i, dev in enumerate(members):
+            receivers = self.broadcast(members, ensure_one=False)
+            if not receivers:
+                continue  # every pull lost: the tier idles this slot
+            stack = np.empty((len(receivers), self.trainer.dim))
+            for i, dev in enumerate(receivers):
                 stack[i] = dev.run_unit(
                     current,
                     cfg.local_epochs,
@@ -100,8 +126,11 @@ class FedATServer(FederatedServer):
                     unit_counter[dev.device_id],
                 )
                 unit_counter[dev.device_id] += 1
-            self.meter.record_upload(len(members))
-            counts = np.array([d.num_samples for d in members])
+            arrived = self.collect(receivers, ensure_one=False)
+            if not arrived:
+                continue  # every upload lost: no tier model this slot
+            counts = np.array([d.num_samples for d in receivers])
+            stack, counts = self.filter_arrived(arrived, stack, counts)
             self._tier_models[tier_idx] = sample_weighted_average(stack, counts)
             self._tier_update_counts[tier_idx] = (
                 self._tier_update_counts.get(tier_idx, 0) + 1

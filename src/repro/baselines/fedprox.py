@@ -49,9 +49,9 @@ class FedProxServer(FedAvgServer):
     ) -> np.ndarray:
         cfg: FedProxConfig = self.config  # type: ignore[assignment]
         duration = self.round_duration(participants)
-        self.meter.record_download(len(participants))
-        stack = np.empty((len(participants), self.trainer.dim))
-        for i, dev in enumerate(participants):
+        receivers = self.broadcast(participants)
+        stack = np.empty((len(receivers), self.trainer.dim))
+        for i, dev in enumerate(receivers):
             stack[i] = dev.run_unit(
                 global_weights,
                 self.local_epochs_for(dev, duration),
@@ -60,7 +60,8 @@ class FedProxServer(FedAvgServer):
                 anchor=global_weights,
                 mu=cfg.mu,
             )
-        self.meter.record_upload(len(participants))
+        arrived = self.collect(receivers)
         self.clock.advance_by(duration)
-        counts = np.array([d.num_samples for d in participants])
+        counts = np.array([d.num_samples for d in receivers])
+        stack, counts = self.filter_arrived(arrived, stack, counts)
         return sample_weighted_average(stack, counts)

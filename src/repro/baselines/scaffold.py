@@ -77,11 +77,14 @@ class ScaffoldServer(FederatedServer):
         eta = self.trainer.lr
 
         # Broadcast model + server variate: 2 model units per participant.
-        self.meter.record_download(len(participants), model_units=2.0)
+        receivers = self.broadcast(participants, model_units=2.0)
 
-        delta_model = np.zeros_like(global_weights)
-        delta_variate = np.zeros_like(self.server_variate)
-        for dev in participants:
+        # Per-device updates are staged and only summed for the uploads
+        # that reach the server; a device whose upload is lost still keeps
+        # its locally refreshed variate (it did the training).
+        model_deltas: list[np.ndarray] = []
+        variate_deltas: list[np.ndarray] = []
+        for dev in receivers:
             c_i = self.device_variates[dev.device_id]
             correction = np.subtract(self.server_variate, c_i, out=self._correction)
             epochs = self.local_epochs_for(dev, duration)
@@ -95,14 +98,19 @@ class ScaffoldServer(FederatedServer):
             dev.weights = y_i
             # Option II variate refresh.
             c_plus = c_i - self.server_variate + (global_weights - y_i) / (steps * eta)
-            delta_model += y_i - global_weights
-            delta_variate += c_plus - c_i
+            model_deltas.append(y_i - global_weights)
+            variate_deltas.append(c_plus - c_i)
             self.device_variates[dev.device_id] = c_plus
 
-        self.meter.record_upload(len(participants), model_units=2.0)
+        arrived = self.collect(receivers, model_units=2.0)
         self.clock.advance_by(duration)
 
-        s = len(participants)
+        delta_model = np.zeros_like(global_weights)
+        delta_variate = np.zeros_like(self.server_variate)
+        for i in arrived:
+            delta_model += model_deltas[i]
+            delta_variate += variate_deltas[i]
+        s = len(arrived)
         new_global = global_weights + cfg.global_lr * delta_model / s
         self.server_variate = self.server_variate + delta_variate / len(self.devices)
         return new_global

@@ -68,11 +68,14 @@ class TAFedAvgServer(FederatedServer):
         duration = self.round_duration(participants)
         by_id = {d.device_id: d for d in participants}
 
-        # Round start: every participant pulls the current global model.
-        self.meter.record_download(len(participants))
-        local_view: dict[int, np.ndarray] = {
-            d.device_id: global_weights for d in participants
-        }
+        # Round start: every participant pulls the current global model; a
+        # device whose pull is lost keeps training its previous weights.
+        receivers = self.broadcast(participants)
+        views = self.start_views(participants, receivers, global_weights)
+        local_view: dict[int, np.ndarray] = (
+            views if isinstance(views, dict)
+            else {d.device_id: global_weights for d in participants}
+        )
         unit_counter: dict[int, int] = {d.device_id: 0 for d in participants}
         # Server version counter for staleness: the version each device's
         # view was taken at, vs the version at its upload.
@@ -92,17 +95,19 @@ class TAFedAvgServer(FederatedServer):
                 unit_counter[dev_id],
             )
             unit_counter[dev_id] += 1
-            self.meter.record_upload(1)
+            if not self.collect([dev], ensure_one=False):
+                continue  # upload lost: the global model never sees it
             rate = cfg.alpha
             if cfg.staleness_exponent > 0:
                 staleness = version - view_version[dev_id]
                 rate = cfg.alpha * (1.0 + staleness) ** -cfg.staleness_exponent
             current = (1.0 - rate) * current + rate * trained
             version += 1
-            # Server replies with the fresh global; device trains it next.
-            self.meter.record_download(1)
-            local_view[dev_id] = current
-            view_version[dev_id] = version
+            # Server replies with the fresh global; device trains it next
+            # (a lost reply leaves the device on its stale view).
+            if self.broadcast([dev], ensure_one=False):
+                local_view[dev_id] = current
+                view_version[dev_id] = version
 
         self.clock.advance_by(duration)
         return current

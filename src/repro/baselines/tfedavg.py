@@ -40,13 +40,14 @@ class TFedAvgServer(FederatedServer):
         global_weights: np.ndarray,
     ) -> np.ndarray:
         duration = self.round_duration(participants)  # wait for the straggler
-        self.meter.record_download(len(participants))
-        stack = np.empty((len(participants), self.trainer.dim))
-        for i, dev in enumerate(participants):
+        receivers = self.broadcast(participants)
+        stack = np.empty((len(receivers), self.trainer.dim))
+        for i, dev in enumerate(receivers):
             stack[i] = dev.run_unit(
                 global_weights, self.config.local_epochs, round_idx, 0
             )
-        self.meter.record_upload(len(participants))
+        arrived = self.collect(receivers)
         self.clock.advance_by(duration)
-        counts = np.array([d.num_samples for d in participants])
+        counts = np.array([d.num_samples for d in receivers])
+        stack, counts = self.filter_arrived(arrived, stack, counts)
         return sample_weighted_average(stack, counts)

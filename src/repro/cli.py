@@ -18,9 +18,15 @@ parallel workers, on-disk result cache, mean±std aggregation::
     python -m repro sweep --method fedhisyn,fedavg --seeds 0,1,2 \
         --workers 2 --cache-dir .repro-cache --grid beta=0.1,0.3
 
+The same run in a harsher world (and environments are grid axes too)::
+
+    python -m repro run --method fedhisyn --env flaky_mobile --drop-prob 0.1
+    python -m repro sweep --method fedavg --seeds 0,1 --grid env=ideal,wan
+
 What is available::
 
     python -m repro list methods
+    python -m repro list envs
 """
 
 from __future__ import annotations
@@ -34,6 +40,11 @@ from repro.campaign import Campaign, CampaignResult, sweep
 from repro.core.registry import method_entries
 from repro.core.selection import SELECTION_POLICIES
 from repro.datasets.registry import DATASETS
+from repro.env.registry import (
+    AVAILABILITY_KINDS,
+    available_environments,
+    environment_entries,
+)
 from repro.experiments import METHODS, ExperimentSpec, run_experiment
 
 __all__ = ["build_parser", "main", "spec_from_args"]
@@ -52,6 +63,10 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
     g.add_argument("--participation", type=float, default=1.0)
     g.add_argument("--het-ratio", type=float, default=None,
                    help="exact heterogeneity H = l_max/l_min (Eq. 13)")
+    g.add_argument("--units-low", type=int, default=None,
+                   help="min training units per round (default: spec's 1)")
+    g.add_argument("--units-high", type=int, default=None,
+                   help="max training units per round (default: spec's 10)")
     g.add_argument("--rounds", type=int, default=12)
     g.add_argument("--local-epochs", type=int, default=1)
     g.add_argument("--lr", type=float, default=0.1)
@@ -69,6 +84,15 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
                         "Bernoulli participation sampling)")
     g.add_argument("--selection-fraction", type=float, default=None,
                    help="fraction for --selection (default: --participation)")
+    g.add_argument("--env", default="ideal",
+                   choices=available_environments(),
+                   help="environment preset: network + availability "
+                        "(default: the paper's ideal world)")
+    g.add_argument("--drop-prob", type=float, default=None,
+                   help="override the preset's message-drop probability")
+    g.add_argument("--availability", default=None,
+                   choices=sorted(AVAILABILITY_KINDS),
+                   help="override the preset's availability model")
     g.add_argument("--seed", type=int, default=0)
 
 
@@ -129,15 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_p = sub.add_parser("list", help="show registered components")
     list_p.add_argument("what", nargs="?", default="all",
-                        choices=["methods", "datasets", "selections", "all"])
+                        choices=["methods", "datasets", "selections", "envs",
+                                 "all"])
 
     return p
 
 
 def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> ExperimentSpec:
     """Build the base :class:`ExperimentSpec` from parsed spec options."""
+    env_kwargs: dict[str, Any] = {}
+    if getattr(args, "drop_prob", None) is not None:
+        env_kwargs["drop_prob"] = args.drop_prob
+    if getattr(args, "availability", None) is not None:
+        env_kwargs["availability"] = args.availability
+    # None-valued flags defer to the ExperimentSpec defaults (the same
+    # passthrough --het-ratio uses), so spec defaults stay single-sourced.
+    units = {
+        key: value
+        for key, value in (("units_low", args.units_low),
+                           ("units_high", args.units_high))
+        if value is not None
+    }
     return ExperimentSpec(
         method=method,
+        **units,
         dataset=args.dataset,
         num_samples=args.samples,
         num_devices=args.devices,
@@ -154,6 +193,8 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         model_preset=args.model_preset,
         selection=args.selection,
         selection_fraction=args.selection_fraction,
+        env=args.env,
+        env_kwargs=env_kwargs,
         seed=args.seed,
     )
 
@@ -347,6 +388,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         for name in sorted(SELECTION_POLICIES):
             doc = (SELECTION_POLICIES[name].__doc__ or "").strip().splitlines()[0]
             lines.append(f"  {name:<10} {doc}")
+        sections.append("\n".join(lines))
+    if args.what in ("envs", "all"):
+        lines = ["environments:"]
+        for entry in environment_entries():
+            lines.append(f"  {entry.name:<13} {entry.description}")
         sections.append("\n".join(lines))
     print("\n\n".join(sections))
     return 0

@@ -29,6 +29,7 @@ from repro.core.server import FederatedServer, ServerConfig
 from repro.datasets.core import ClassificationDataset
 from repro.device.device import Device
 from repro.device.network import LinkDelayModel
+from repro.env.environment import Environment
 from repro.simulation.engine import RingRoundEngine
 from repro.utils.logging import RunLogger
 
@@ -82,14 +83,22 @@ class FedHiSynServer(FederatedServer):
         config: FedHiSynConfig | None = None,
         delay_model: LinkDelayModel | None = None,
         logger: RunLogger | None = None,
+        env: Environment | None = None,
     ) -> None:
         config = config if config is not None else FedHiSynConfig()
-        super().__init__(devices, test_set, config, logger)
+        super().__init__(devices, test_set, config, logger, env=env)
+        # Ring hops run over the same environment as the server channel;
+        # an explicitly passed delay_model still wins (ablation benches).
+        # drop_seed ties peer-hop loss draws to the experiment seed so
+        # seed replicates see independent drop patterns (matching the
+        # server channel's seeded drop stream).
         self.engine = RingRoundEngine(
             self.devices,
             delay_model=delay_model,
             epochs_per_unit=config.local_epochs,
             combine=config.combine,
+            env=self.env,
+            drop_seed=config.seed,
         )
         self.last_round_stats = None
 
@@ -116,19 +125,22 @@ class FedHiSynServer(FederatedServer):
             seed=self._seeds.generator(round_idx, 2),
         )
 
-        # (3) broadcast: one model down per participant.
-        self.meter.record_download(len(participants))
+        # (3) broadcast: one model down per participant.  A device whose
+        # pull is lost enters its ring on its previous round's model
+        # instead — a lost message is harmless to liveness (Eq. 7).
+        receivers = self.broadcast(participants)
+        start = self.start_views(participants, receivers, global_weights)
 
         # (4) ring training for the round duration (lines 7-16).
         duration = self.round_duration(participants) * cfg.round_length_multiplier
-        stats = self.engine.run_round(rings, global_weights, duration, round_idx)
+        stats = self.engine.run_round(rings, start, duration, round_idx)
         self.last_round_stats = stats
-        self.meter.record_peer(stats.peer_sends)
+        self.peer_send(stats.peer_sends)
         self.clock.advance_by(duration)
 
         # (5) synchronous upload + aggregation (line 17).
         stack = np.stack([d.weights for d in participants])
-        self.meter.record_upload(len(participants))
+        arrived = self.collect(participants)
         if cfg.aggregation == "class_time":
             # Each participant's weight is its class's mean unit time;
             # ``classes`` holds positions into the participant order, so
@@ -136,5 +148,7 @@ class FedHiSynServer(FederatedServer):
             weights_vec = np.empty(len(participants))
             for cls in classes:
                 weights_vec[cls] = times[cls].mean()
+            stack, weights_vec = self.filter_arrived(arrived, stack, weights_vec)
             return class_time_weighted_average(stack, weights_vec)
+        (stack,) = self.filter_arrived(arrived, stack)
         return uniform_average(stack)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Callable, Iterator, Type, TypeVar
+from typing import Callable, Iterator, TypeVar
 
 __all__ = [
     "MethodEntry",

@@ -6,6 +6,13 @@ of :class:`FederatedServer` that implements a single hook,
 paper keeps constant across methods: participant sampling, the virtual
 round clock, transmission metering, periodic evaluation, and the RunResult
 assembly — so method comparisons differ only in the algorithm itself.
+
+Server↔device traffic flows through the **channel API** —
+:meth:`~FederatedServer.broadcast`, :meth:`~FederatedServer.collect`,
+:meth:`~FederatedServer.peer_send` — which meters every transfer, charges
+link transfer time to the virtual clock and applies the
+:class:`~repro.env.environment.Environment`'s message drops, so method
+implementations never touch the meter or the network model directly.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import numpy as np
 
 from repro.datasets.core import ClassificationDataset
 from repro.device.device import Device
+from repro.env.environment import Environment
 from repro.nn.serialization import get_flat_params, set_flat_params
 from repro.simulation.clock import VirtualClock
 from repro.simulation.metrics import MetricsHistory, TransmissionMeter
@@ -26,6 +34,13 @@ from repro.utils.logging import NullLogger, RunLogger
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = ["ServerConfig", "FederatedServer"]
+
+#: Keyed rng streams (SeedSequenceFactory spawn keys) owned by the base
+#: server.  Participant sampling uses ``(round, 1)`` and ring building
+#: ``(round, 2)``; the environment streams below are new keys, so enabling
+#: a non-ideal environment never perturbs the training streams.
+_AVAILABILITY_STREAM = 3  # (round_idx, 3): per-round availability draws
+_DROP_STREAM_KEY = (0, 101)  # persistent message-drop stream (rounds are >= 1)
 
 
 @dataclass
@@ -50,8 +65,10 @@ class FederatedServer:
     """Template-method FL server on virtual time.
 
     Subclasses set ``method`` and implement ``run_round(round_idx,
-    participants, global_weights) -> new_global_weights``; they must record
-    their transfers on ``self.meter`` and advance ``self.clock``.
+    participants, global_weights) -> new_global_weights``; they move models
+    through :meth:`broadcast`/:meth:`collect`/:meth:`peer_send` (which own
+    all metering and environment effects) and advance ``self.clock`` by the
+    round's compute duration.
     """
 
     method = "base"
@@ -62,6 +79,7 @@ class FederatedServer:
         test_set: ClassificationDataset,
         config: ServerConfig | None = None,
         logger: RunLogger | None = None,
+        env: Environment | None = None,
     ) -> None:
         if not devices:
             raise ValueError("need at least one device")
@@ -73,6 +91,7 @@ class FederatedServer:
         for d in self.devices:
             if d.trainer is not self.trainer:
                 raise ValueError("all devices must share one LocalTrainer")
+        self.env = env if env is not None else Environment.ideal()
         self.meter = TransmissionMeter()
         self.clock = VirtualClock()
         self.history = MetricsHistory()
@@ -81,6 +100,11 @@ class FederatedServer:
         # Optional pluggable selection policy (repro.core.selection);
         # None = the paper's Bernoulli(participation) sampling below.
         self.selection_policy = None
+        # Channel bookkeeping: messages lost to the environment, offline
+        # device-rounds — observability for the robustness benches.
+        self.dropped_messages = 0
+        self.unavailable_count = 0
+        self._drop_rng: np.random.Generator | None = None
 
     # ---------------------------------------------------------------- hooks
 
@@ -117,19 +141,152 @@ class FederatedServer:
         """Bernoulli(participation) per device, at least one participant.
 
         The paper: "each device has a 100%, 50%, and 10% chance of
-        participating in the training."
+        participating in the training."  The sampled set is then filtered
+        through the environment's availability model (offline devices were
+        picked but never show up), still guaranteeing one participant.
         """
         rng = self._seeds.generator(round_idx, 1)
         if self.selection_policy is not None:
-            return self.selection_policy.select(round_idx, self.devices, rng)
-        p = self.config.participation
-        if p >= 1.0:
-            return list(self.devices)
-        mask = rng.random(len(self.devices)) < p
-        chosen = [d for d, m in zip(self.devices, mask) if m]
-        if not chosen:
-            chosen = [self.devices[rng.integers(len(self.devices))]]
+            chosen = self.selection_policy.select(round_idx, self.devices, rng)
+        else:
+            p = self.config.participation
+            if p >= 1.0:
+                chosen = list(self.devices)
+            else:
+                mask = rng.random(len(self.devices)) < p
+                chosen = [d for d, m in zip(self.devices, mask) if m]
+                if not chosen:
+                    chosen = [self.devices[rng.integers(len(self.devices))]]
+        if not self.env.availability.always_on:
+            online = self.env.available(
+                round_idx,
+                chosen,
+                self._seeds.generator(round_idx, _AVAILABILITY_STREAM),
+            )
+            self.unavailable_count += len(chosen) - len(online)
+            chosen = online
         return chosen
+
+    # -------------------------------------------------------- channel API
+
+    def broadcast(
+        self,
+        receivers: list[Device],
+        model_units: float = 1.0,
+        ensure_one: bool = True,
+    ) -> list[Device]:
+        """Server -> device push of the current model (or model + state).
+
+        Meters one download per receiver (sent, not delivered — a lost
+        message still crossed the costed channel), charges the slowest
+        link's transfer time to the virtual clock, and returns the devices
+        the message actually reached.  ``ensure_one=True`` (round-level
+        calls) guarantees at least one delivery so a round can never stall;
+        event-level callers (FedAT tier rounds, TAFedAvg replies) pass
+        ``False`` and handle an empty delivery themselves.
+        """
+        if not receivers:
+            return []
+        self.meter.record_download(len(receivers), model_units)
+        self._charge_transfer(receivers, model_units)
+        return self._apply_drops(receivers, ensure_one)
+
+    def collect(
+        self,
+        senders: list[Device],
+        model_units: float = 1.0,
+        ensure_one: bool = True,
+    ) -> list[int]:
+        """Device -> server uploads after local training.
+
+        Meters one upload per sender, charges the slowest uplink to the
+        clock, and returns the *indices* (into ``senders``) whose upload
+        survived message drops — the aggregation step filters its stacked
+        updates by them.  Indices are always returned in ascending order.
+        """
+        if not senders:
+            return []
+        self.meter.record_upload(len(senders), model_units)
+        self._charge_transfer(senders, model_units)
+        return self._apply_drops(list(range(len(senders))), ensure_one)
+
+    def start_views(
+        self,
+        participants: list[Device],
+        receivers: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray | dict[int, np.ndarray]:
+        """Per-device training start model after a (possibly lossy) broadcast.
+
+        The companion to :meth:`broadcast`: receivers start from the global
+        model; a device whose pull was lost continues its previous weights
+        (or the global model when it has none yet — round one).  Returns
+        the plain global vector when everyone received, so the lossless
+        path allocates nothing.
+        """
+        if len(receivers) == len(participants):
+            return global_weights
+        got = {d.device_id for d in receivers}
+        return {
+            d.device_id: (
+                global_weights
+                if d.device_id in got or d.weights is None
+                else d.weights
+            )
+            for d in participants
+        }
+
+    @staticmethod
+    def filter_arrived(
+        arrived: list[int], *arrays: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Slice per-sender stacked arrays down to the uploads that arrived.
+
+        The companion to :meth:`collect`: pass the stacked updates (and any
+        aligned per-sender vectors) and get them filtered by the surviving
+        indices.  When everything arrived the inputs are returned unchanged
+        (same objects — the ``ideal`` bit-identity path).
+        """
+        if not arrays or len(arrived) == len(arrays[0]):
+            return arrays
+        return tuple(a[arrived] for a in arrays)
+
+    def peer_send(self, count: int = 1, model_units: float = 1.0) -> None:
+        """Meter device-to-device hops (ring forwards).  Delays and drops
+        for peer traffic are applied inside the ring engine, which reads
+        the same environment's network model."""
+        self.meter.record_peer(count, model_units)
+
+    def _charge_transfer(self, devices: list[Device], model_units: float) -> None:
+        """Advance the clock by the slowest link's transfer time.
+
+        Contract: a round's wall-clock time is compute (the method's
+        ``advance_by(duration)``) plus every channel call's slowest-link
+        transfer time; under ``ideal`` the transfer term is exactly zero
+        and the clock is untouched.
+        """
+        t = self.env.server_transfer_time(devices, model_units)
+        if t > 0.0:
+            self.clock.advance_by(t)
+
+    def _apply_drops(self, items: list, ensure_one: bool) -> list:
+        """Independently drop each message with the network's drop_prob.
+
+        Returns ``items`` unchanged (same object, no rng draw) when the
+        environment never drops — the bit-identity fast path.
+        """
+        p = self.env.network.drop_prob
+        if p <= 0.0:
+            return items
+        if self._drop_rng is None:
+            self._drop_rng = self._seeds.generator(*_DROP_STREAM_KEY)
+        rng = self._drop_rng
+        mask = rng.random(len(items)) >= p
+        kept = [item for item, ok in zip(items, mask) if ok]
+        if not kept and ensure_one:
+            kept = [items[int(rng.integers(len(items)))]]
+        self.dropped_messages += len(items) - len(kept)
+        return kept
 
     def round_duration(self, participants: list[Device]) -> float:
         """Paper convention: the slowest participant's unit time."""

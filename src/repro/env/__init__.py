@@ -1,0 +1,56 @@
+"""Pluggable environment layer: networks, availability, named presets.
+
+One import surface for everything that describes the simulated world
+outside the algorithm::
+
+    from repro.env import Environment, make_environment
+
+    srv = FedAvgServer(devices, test_set, env=make_environment("flaky_mobile"))
+
+See :mod:`repro.env.environment` for the metering/clock contract and
+:mod:`repro.env.registry` for the preset catalogue.
+"""
+
+from repro.env.availability import (
+    AlwaysOn,
+    AvailabilityModel,
+    BernoulliAvailability,
+    CapacityCorrelatedAvailability,
+    TraceAvailability,
+)
+from repro.env.environment import Environment
+from repro.env.network import (
+    SERVER,
+    IdealNetwork,
+    NetworkModel,
+    SampledNetwork,
+    UniformNetwork,
+)
+from repro.env.registry import (
+    AVAILABILITY_KINDS,
+    EnvironmentEntry,
+    available_environments,
+    environment_entries,
+    make_environment,
+    register_environment,
+)
+
+__all__ = [
+    "SERVER",
+    "NetworkModel",
+    "IdealNetwork",
+    "UniformNetwork",
+    "SampledNetwork",
+    "AvailabilityModel",
+    "AlwaysOn",
+    "BernoulliAvailability",
+    "TraceAvailability",
+    "CapacityCorrelatedAvailability",
+    "Environment",
+    "EnvironmentEntry",
+    "register_environment",
+    "make_environment",
+    "available_environments",
+    "environment_entries",
+    "AVAILABILITY_KINDS",
+]

@@ -1,0 +1,129 @@
+"""Device-availability models: who is online this round.
+
+The paper's evaluation keeps every sampled device online for the whole
+round; real fleets churn.  An :class:`AvailabilityModel` maps a round index
+and a candidate device list to a boolean online mask — the server applies
+it *after* participant sampling, so availability composes with any
+selection policy (a device can be picked and then found offline).
+
+All models are pure functions of ``(round_idx, devices, rng)``; the server
+owns the rng stream so runs stay reproducible and campaign-cacheable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.config import validate_fraction
+
+__all__ = [
+    "AvailabilityModel",
+    "AlwaysOn",
+    "BernoulliAvailability",
+    "TraceAvailability",
+    "CapacityCorrelatedAvailability",
+]
+
+
+class AvailabilityModel:
+    """Interface: per-round online mask over a device list."""
+
+    #: True for models that never take a device offline — the server skips
+    #: the rng stream entirely for them (the ``ideal`` bit-identity path).
+    always_on: bool = False
+
+    def available_mask(
+        self,
+        round_idx: int,
+        devices: Sequence,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Boolean mask, True where ``devices[i]`` is online in ``round_idx``."""
+        raise NotImplementedError
+
+
+class AlwaysOn(AvailabilityModel):
+    """Paper semantics: every device is online every round."""
+
+    always_on = True
+
+    def available_mask(self, round_idx, devices, rng):
+        return np.ones(len(devices), dtype=bool)
+
+
+class BernoulliAvailability(AvailabilityModel):
+    """Independent churn: each device is online with probability ``up_prob``."""
+
+    def __init__(self, up_prob: float = 0.9) -> None:
+        validate_fraction(up_prob, "up_prob")
+        self.up_prob = float(up_prob)
+
+    def available_mask(self, round_idx, devices, rng):
+        if self.up_prob >= 1.0:
+            return np.ones(len(devices), dtype=bool)
+        return rng.random(len(devices)) < self.up_prob
+
+
+class TraceAvailability(AvailabilityModel):
+    """Trace-driven availability: a per-device on/off schedule.
+
+    ``traces`` maps a device id to a sequence of booleans indexed by round
+    (cycled when the run outlasts the trace).  Devices without a trace use
+    ``default``.  Round indices are 1-based (the server's convention), so
+    round ``r`` reads ``trace[(r - 1) % len(trace)]``.
+
+    Keys are coerced with ``int()``, so string device ids are accepted —
+    use string keys (``{"0": [...]}``) when the traces travel through
+    ``ExperimentSpec.env_kwargs``: JSON object keys are always strings,
+    and integer keys would make the spec's dict round-trip unequal even
+    though the run itself behaves identically.
+    """
+
+    def __init__(
+        self,
+        traces: Mapping[int, Sequence[bool]],
+        default: bool = True,
+    ) -> None:
+        self.traces = {
+            int(dev_id): [bool(v) for v in trace]
+            for dev_id, trace in dict(traces).items()
+        }
+        for dev_id, trace in self.traces.items():
+            if not trace:
+                raise ValueError(f"trace for device {dev_id} is empty")
+        self.default = bool(default)
+
+    def available_mask(self, round_idx, devices, rng):
+        mask = np.empty(len(devices), dtype=bool)
+        for i, dev in enumerate(devices):
+            trace = self.traces.get(dev.device_id)
+            if trace is None:
+                mask[i] = self.default
+            else:
+                mask[i] = trace[(round_idx - 1) % len(trace)]
+        return mask
+
+
+class CapacityCorrelatedAvailability(AvailabilityModel):
+    """Slow devices drop out more: the mobile-fleet failure mode.
+
+    A device's online probability falls linearly with its normalized unit
+    time within the candidate set: the fastest candidate is up with
+    ``up_prob``, the slowest with ``up_prob - slow_penalty`` (floored at
+    5% so no device is permanently dark).
+    """
+
+    def __init__(self, up_prob: float = 0.95, slow_penalty: float = 0.4) -> None:
+        validate_fraction(up_prob, "up_prob")
+        validate_fraction(slow_penalty, "slow_penalty", inclusive_low=True)
+        self.up_prob = float(up_prob)
+        self.slow_penalty = float(slow_penalty)
+
+    def available_mask(self, round_idx, devices, rng):
+        times = np.array([d.unit_time for d in devices], dtype=np.float64)
+        lo, hi = times.min(), times.max()
+        norm = np.zeros_like(times) if hi == lo else (times - lo) / (hi - lo)
+        probs = np.clip(self.up_prob - self.slow_penalty * norm, 0.05, 1.0)
+        return rng.random(len(devices)) < probs

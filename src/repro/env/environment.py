@@ -1,0 +1,119 @@
+"""The Environment: one object describing the world outside the algorithm.
+
+An :class:`Environment` bundles a :class:`~repro.env.network.NetworkModel`
+(link latency, bandwidth, message loss) with an
+:class:`~repro.env.availability.AvailabilityModel` (device churn).  The
+server's channel API (:meth:`FederatedServer.broadcast` /
+:meth:`~FederatedServer.collect` / :meth:`~FederatedServer.peer_send`)
+reads transfer times and drop probabilities from it; participant sampling
+filters through :meth:`Environment.available`; the FedHiSyn ring engine
+uses the same network model for peer hops.
+
+The contract that keeps experiments comparable:
+
+* ``Environment.ideal()`` — instant lossless links, always-on devices —
+  reproduces the paper's semantics **bit-for-bit**: no rng stream is
+  touched, no transfer time is charged, no message is dropped.
+* Any other environment only ever *removes* messages/participants or
+  *adds* virtual time; the training mathematics per delivered model is
+  untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.env.availability import AlwaysOn, AvailabilityModel
+from repro.env.network import SERVER, IdealNetwork, NetworkModel
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Network conditions + device availability for one simulated world."""
+
+    def __init__(
+        self,
+        network: NetworkModel | None = None,
+        availability: AvailabilityModel | None = None,
+        name: str = "custom",
+    ) -> None:
+        self.network = network if network is not None else IdealNetwork()
+        self.availability = (
+            availability if availability is not None else AlwaysOn()
+        )
+        if not isinstance(self.network, NetworkModel):
+            raise ValueError(
+                f"network must be a NetworkModel, got {type(self.network).__name__}"
+            )
+        if not isinstance(self.availability, AvailabilityModel):
+            raise ValueError(
+                "availability must be an AvailabilityModel, "
+                f"got {type(self.availability).__name__}"
+            )
+        self.name = name
+
+    @classmethod
+    def ideal(cls) -> "Environment":
+        """Paper semantics: the default environment of every server."""
+        return cls(IdealNetwork(), AlwaysOn(), name="ideal")
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when the environment can never perturb a run."""
+        return (
+            self.network.is_instant
+            and self.network.drop_prob == 0.0
+            and self.availability.always_on
+        )
+
+    def available(
+        self,
+        round_idx: int,
+        devices: Sequence,
+        rng: np.random.Generator,
+    ) -> list:
+        """Online subset of ``devices`` this round — never empty.
+
+        An all-offline draw falls back to one rng-chosen device: a round
+        with zero participants would stall every method, and in practice a
+        server simply waits for the first device to reappear.
+        """
+        devices = list(devices)
+        if not devices or self.availability.always_on:
+            return devices
+        mask = self.availability.available_mask(round_idx, devices, rng)
+        online = [d for d, up in zip(devices, mask) if up]
+        if not online:
+            online = [devices[int(rng.integers(len(devices)))]]
+        return online
+
+    def server_transfer_time(
+        self, devices: Sequence, model_units: float = 1.0
+    ) -> float:
+        """Time until the slowest server↔device link finishes one transfer.
+
+        Links are symmetric in every bundled network model, so this serves
+        both broadcast (down) and collect (up).
+        """
+        net = self.network
+        if net.is_instant or not devices:
+            return 0.0
+        return max(
+            net.transfer_time(SERVER, d.device_id, model_units) for d in devices
+        )
+
+    def describe(self) -> str:
+        """One-line summary for ``repro list envs``."""
+        return (
+            f"network={type(self.network).__name__} "
+            f"drop={self.network.drop_prob:g} "
+            f"availability={type(self.availability).__name__}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Environment({self.name!r}: {self.describe()})"

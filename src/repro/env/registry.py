@@ -1,0 +1,241 @@
+"""Named environment presets: sweepable world models.
+
+Every preset is a factory keyed by a short name — ``ideal`` is the paper's
+semantics, the others are progressively harsher worlds.  Presets accept
+keyword overrides (the :class:`ExperimentSpec.env_kwargs` /
+``--drop-prob`` path), so ``make_environment("wan", drop_prob=0.1)`` is a
+lossier WAN without defining a new preset, and a campaign grid can sweep
+``env`` exactly like any other spec field.
+
+Override keys understood by every preset:
+
+``latency``, ``bandwidth``, ``peer_latency``, ``peer_bandwidth``,
+``latency_spread``, ``bandwidth_spread``, ``drop_prob``, ``seed``
+    Network shape — see :mod:`repro.env.network`.  Latencies are in
+    virtual-time units (a median device's training unit is ~0.5);
+    bandwidths in models per unit time.
+``availability``
+    ``"always"`` | ``"bernoulli"`` | ``"trace"`` | ``"capacity"``.
+``up_prob``, ``slow_penalty``, ``traces``, ``default_up``
+    Availability-model parameters (see :mod:`repro.env.availability`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.env.availability import (
+    AlwaysOn,
+    AvailabilityModel,
+    BernoulliAvailability,
+    CapacityCorrelatedAvailability,
+    TraceAvailability,
+)
+from repro.env.environment import Environment
+from repro.env.network import SampledNetwork, UniformNetwork
+
+__all__ = [
+    "EnvironmentEntry",
+    "register_environment",
+    "make_environment",
+    "available_environments",
+    "environment_entries",
+    "AVAILABILITY_KINDS",
+]
+
+AVAILABILITY_KINDS = ("always", "bernoulli", "trace", "capacity")
+
+
+@dataclass(frozen=True)
+class EnvironmentEntry:
+    """One registered preset: its factory plus the ``list envs`` blurb."""
+
+    name: str
+    factory: Callable[..., Environment]
+    description: str = ""
+
+
+_REGISTRY: dict[str, EnvironmentEntry] = {}
+
+
+def register_environment(
+    name: str, description: str = ""
+) -> Callable[[Callable[..., Environment]], Callable[..., Environment]]:
+    """Decorator registering an environment factory under ``name``."""
+    if not name or not name.replace("_", "").islower() or not name.isidentifier():
+        raise ValueError(
+            f"environment name must be a lowercase identifier, got {name!r}"
+        )
+
+    def decorate(factory: Callable[..., Environment]) -> Callable[..., Environment]:
+        if name in _REGISTRY and _REGISTRY[name].factory is not factory:
+            raise ValueError(f"environment {name!r} is already registered")
+        _REGISTRY[name] = EnvironmentEntry(name, factory, description)
+        return factory
+
+    return decorate
+
+
+def make_environment(name: str, **overrides: Any) -> Environment:
+    """Instantiate a registered preset, applying keyword overrides.
+
+    Raises ``ValueError`` for an unknown name *or* an unknown override key,
+    so :class:`ExperimentSpec` validation catches bad ``env_kwargs`` at
+    sweep-expansion time rather than mid-campaign.
+    """
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown environment {name!r}; known: {available_environments()}"
+        ) from None
+    try:
+        return entry.factory(**overrides)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad env_kwargs for environment {name!r}: {exc}"
+        ) from None
+
+
+def available_environments() -> list[str]:
+    """Sorted names of every registered environment preset."""
+    return sorted(_REGISTRY)
+
+
+def environment_entries() -> list[EnvironmentEntry]:
+    """All registered entries, sorted by name — the ``list envs`` feed."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------- builder
+
+
+def _build(
+    name: str,
+    *,
+    latency: float = 0.0,
+    bandwidth: float = math.inf,
+    peer_latency: float | None = None,
+    peer_bandwidth: float | None = None,
+    latency_spread: float = 0.0,
+    bandwidth_spread: float = 0.0,
+    drop_prob: float = 0.0,
+    availability: str = "always",
+    up_prob: float | None = None,
+    slow_penalty: float | None = None,
+    traces: dict | None = None,
+    default_up: bool = True,
+    seed: int = 0,
+) -> Environment:
+    """Assemble an Environment from flat, JSON-safe keyword parameters."""
+    if latency_spread or bandwidth_spread:
+        network = SampledNetwork(
+            latency=latency,
+            bandwidth=bandwidth,
+            drop_prob=drop_prob,
+            peer_latency=peer_latency,
+            peer_bandwidth=peer_bandwidth,
+            latency_spread=latency_spread,
+            bandwidth_spread=bandwidth_spread,
+            seed=seed,
+        )
+    else:
+        network = UniformNetwork(
+            latency=latency,
+            bandwidth=bandwidth,
+            drop_prob=drop_prob,
+            peer_latency=peer_latency,
+            peer_bandwidth=peer_bandwidth,
+        )
+    avail: AvailabilityModel
+    if availability == "always":
+        avail = AlwaysOn()
+    elif availability == "bernoulli":
+        avail = BernoulliAvailability(0.9 if up_prob is None else up_prob)
+    elif availability == "trace":
+        avail = TraceAvailability(traces or {}, default=default_up)
+    elif availability == "capacity":
+        avail = CapacityCorrelatedAvailability(
+            0.95 if up_prob is None else up_prob,
+            0.4 if slow_penalty is None else slow_penalty,
+        )
+    else:
+        raise TypeError(
+            f"availability must be one of {AVAILABILITY_KINDS}, got {availability!r}"
+        )
+    return Environment(network, avail, name=name)
+
+
+# ----------------------------------------------------------------- presets
+
+
+@register_environment(
+    "ideal", "paper semantics: instant lossless links, always-on devices"
+)
+def _ideal(**overrides: Any) -> Environment:
+    return _build("ideal", **overrides)
+
+
+@register_environment(
+    "lan", "data-center floor: sub-unit latency, fat pipes, no loss"
+)
+def _lan(**overrides: Any) -> Environment:
+    return _build("lan", **{"latency": 0.005, "bandwidth": 200.0, **overrides})
+
+
+@register_environment(
+    "wan", "cross-region links: tens-of-ms-scale latency spread, 1% loss"
+)
+def _wan(**overrides: Any) -> Environment:
+    return _build(
+        "wan",
+        **{
+            "latency": 0.05,
+            "bandwidth": 20.0,
+            "latency_spread": 0.5,
+            "drop_prob": 0.01,
+            **overrides,
+        },
+    )
+
+
+@register_environment(
+    "flaky_mobile",
+    "cellular fleet: slow lossy links, slow devices churn out of rounds",
+)
+def _flaky_mobile(**overrides: Any) -> Environment:
+    return _build(
+        "flaky_mobile",
+        **{
+            "latency": 0.08,
+            "bandwidth": 5.0,
+            "latency_spread": 1.0,
+            "bandwidth_spread": 0.5,
+            "drop_prob": 0.05,
+            "availability": "capacity",
+            "up_prob": 0.9,
+            "slow_penalty": 0.4,
+            **overrides,
+        },
+    )
+
+
+@register_environment(
+    "satellite", "high-latency narrow uplink: big RTT dominates small models"
+)
+def _satellite(**overrides: Any) -> Environment:
+    return _build(
+        "satellite",
+        **{"latency": 0.3, "bandwidth": 2.0, "drop_prob": 0.02, **overrides},
+    )
+
+
+@register_environment(
+    "churn", "perfect network, unreliable fleet: 30% of devices offline per round"
+)
+def _churn(**overrides: Any) -> Environment:
+    return _build(
+        "churn", **{"availability": "bernoulli", "up_prob": 0.7, **overrides}
+    )

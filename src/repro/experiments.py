@@ -22,12 +22,13 @@ import repro.baselines  # noqa: F401  (registers the six baselines)
 import repro.core.fedhisyn  # noqa: F401  (registers fedhisyn)
 from repro.core.registry import METHOD_CONFIGS, METHOD_SERVERS, get_method
 from repro.core.selection import SELECTION_POLICIES, make_policy
-from repro.core.server import FederatedServer, ServerConfig
+from repro.core.server import FederatedServer
 from repro.datasets import make_dataset, partition_by_name, train_test_split
 from repro.datasets.core import ClassificationDataset
 from repro.datasets.registry import DATASETS
 from repro.device import LocalTrainer, make_devices, unit_times_from_counts, unit_times_from_ratio
 from repro.device.heterogeneity import sample_unit_counts
+from repro.env.registry import make_environment
 from repro.nn.layers import Flatten
 from repro.nn.models import Sequential, paper_cnn, paper_mlp
 from repro.utils.config import validate_fraction, validate_positive
@@ -89,6 +90,10 @@ class ExperimentSpec:
     # server's built-in Bernoulli(participation) sampling.
     selection: str | None = None
     selection_fraction: float | None = None  # policy fraction; default: participation
+    # Simulated world (repro.env): named preset plus keyword overrides.
+    # "ideal" reproduces the paper's semantics bit-for-bit.
+    env: str = "ideal"
+    env_kwargs: dict[str, Any] = field(default_factory=dict)
     method_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -135,6 +140,13 @@ class ExperimentSpec:
             raise ValueError(
                 f"method_kwargs must be a dict, got {type(self.method_kwargs).__name__}"
             )
+        if not isinstance(self.env_kwargs, dict):
+            raise ValueError(
+                f"env_kwargs must be a dict, got {type(self.env_kwargs).__name__}"
+            )
+        # Raises ValueError for an unknown preset or bad override keys, so
+        # a mistyped --env/--grid value fails at spec time, not mid-run.
+        make_environment(self.env, **self.env_kwargs)
 
     def with_method(self, method: str, **method_kwargs) -> "ExperimentSpec":
         """Same experiment, different algorithm — for method comparisons."""
@@ -237,7 +249,10 @@ def build_experiment(
         seed=spec.seed + 6,
         **spec.method_kwargs,
     )
-    server = entry.server_cls(devices, test_set, config, logger=logger)
+    environment = make_environment(spec.env, **spec.env_kwargs)
+    server = entry.server_cls(
+        devices, test_set, config, logger=logger, env=environment
+    )
     if spec.selection is not None:
         fraction = (
             spec.selection_fraction
@@ -258,7 +273,10 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
         beta=spec.beta if spec.partition == "dirichlet" else None,
         num_devices=spec.num_devices,
         model_preset=spec.model_preset,
+        env=spec.env,
     )
+    if spec.env_kwargs:
+        result.config["env_kwargs"] = dict(spec.env_kwargs)
     if spec.selection is not None:
         result.config["selection"] = spec.selection
         result.config["selection_fraction"] = (

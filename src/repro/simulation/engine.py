@@ -61,6 +61,11 @@ class RingRoundEngine:
     combine:
         How a device merges the newest buffered model with its own before
         training — ``"direct"`` (paper) or ``"average"`` (Fig. 2 ablation).
+    env:
+        Optional :class:`~repro.env.environment.Environment` supplying the
+        peer-hop delay model and message-drop probability.  Explicit
+        ``delay_model``/``drop_prob`` arguments take precedence, so the
+        ablation benches can still pin either independently.
     """
 
     def __init__(
@@ -69,11 +74,18 @@ class RingRoundEngine:
         delay_model: LinkDelayModel | None = None,
         epochs_per_unit: int = 5,
         combine: str = "direct",
-        drop_prob: float = 0.0,
+        drop_prob: float | None = None,
         drop_seed: int = 0,
+        env=None,
     ) -> None:
         if epochs_per_unit <= 0:
             raise ValueError("epochs_per_unit must be positive")
+        if env is not None:
+            if delay_model is None:
+                delay_model = env.network
+            if drop_prob is None:
+                drop_prob = env.network.drop_prob
+        drop_prob = 0.0 if drop_prob is None else drop_prob
         if not 0.0 <= drop_prob < 1.0:
             raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
         self.devices = list(devices)

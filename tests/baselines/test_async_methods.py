@@ -94,3 +94,62 @@ class TestFedAT:
                           FedATConfig(rounds=1, local_epochs=1, num_tiers=1))
         result = srv.fit()
         assert np.isfinite(result.final_weights).all()
+
+
+class TestFedATTierStability:
+    """Regression tests for the cross-round tier-state fix.
+
+    The seed code keyed ``_tier_models``/``_tier_update_counts`` by the
+    index of a *per-round* re-clustering of the participant list, so under
+    partial participation the same key could mean a different device
+    population each round (a fast-only round and a slow-only round both
+    wrote key 0).  Tiers are now assigned once over the whole fleet.
+    """
+
+    def test_tier_assignment_is_fleet_wide_and_stable(self, tiny_devices,
+                                                      tiny_split):
+        _, test_set = tiny_split
+        srv = FedATServer(tiny_devices, test_set,
+                          FedATConfig(rounds=1, local_epochs=1, num_tiers=3))
+        # unit times 0.25 / 0.5 / 1.0 -> three clean tiers, fastest first.
+        by_tier = {}
+        for dev in tiny_devices:
+            by_tier.setdefault(srv.device_tier[dev.device_id], set()).add(
+                dev.unit_time)
+        assert by_tier == {0: {0.25}, 1: {0.5}, 2: {1.0}}
+
+    def test_disjoint_rounds_write_disjoint_tier_keys(self, tiny_devices,
+                                                      tiny_split):
+        """A fast-only round and a slow-only round must not share tier state."""
+        _, test_set = tiny_split
+
+        fast = [d for d in tiny_devices if d.unit_time == 0.25]
+        slow = [d for d in tiny_devices if d.unit_time == 1.0]
+
+        class AlternatingSelection:
+            expected_fraction = None
+
+            def select(self, round_idx, devices, rng):
+                return fast if round_idx % 2 == 1 else slow
+
+        srv = FedATServer(tiny_devices, test_set,
+                          FedATConfig(rounds=2, local_epochs=1, num_tiers=3))
+        srv.selection_policy = AlternatingSelection()
+        srv.fit()
+        # Pre-fix both rounds clustered their own participants and wrote
+        # key 0; now they land on the fleet-wide tier ids 0 and 2.
+        assert set(srv._tier_models) == {0, 2}
+        assert 0 < srv._tier_update_counts[0]
+        assert 0 < srv._tier_update_counts[2]
+
+    def test_half_participation_keys_stay_in_global_range(self, tiny_devices,
+                                                          tiny_split):
+        _, test_set = tiny_split
+        srv = FedATServer(tiny_devices, test_set,
+                          FedATConfig(rounds=6, local_epochs=1, num_tiers=3,
+                                      participation=0.5, seed=3))
+        result = srv.fit()
+        assert np.isfinite(result.final_weights).all()
+        global_tiers = set(srv.device_tier.values())
+        assert set(srv._tier_models) <= global_tiers
+        assert set(srv._tier_update_counts) <= global_tiers

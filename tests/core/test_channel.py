@@ -1,0 +1,176 @@
+"""Tests for the FederatedServer channel API (broadcast/collect/peer_send).
+
+The channel owns everything the environment does to server↔device traffic:
+metering, transfer-time clock charges, message drops and availability
+filtering.  Method implementations are forbidden from touching the meter
+directly — the last test enforces that at the source level.
+"""
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+from repro.baselines.fedavg import FedAvgServer
+from repro.core.server import ServerConfig
+from repro.env import (
+    BernoulliAvailability,
+    Environment,
+    TraceAvailability,
+    UniformNetwork,
+)
+
+
+def make_server(tiny_devices, tiny_split, env=None, **cfg):
+    _, test_set = tiny_split
+    config = ServerConfig(**{"rounds": 2, "local_epochs": 1, **cfg})
+    return FedAvgServer(tiny_devices, test_set, config, env=env)
+
+
+class TestMetering:
+    def test_broadcast_meters_sends(self, tiny_devices, tiny_split):
+        srv = make_server(tiny_devices, tiny_split)
+        got = srv.broadcast(tiny_devices)
+        assert got == tiny_devices  # ideal: everyone receives
+        assert srv.meter.server_down == len(tiny_devices)
+        assert srv.meter.server_up == 0
+
+    def test_collect_meters_and_returns_all_indices(self, tiny_devices, tiny_split):
+        srv = make_server(tiny_devices, tiny_split)
+        arrived = srv.collect(tiny_devices)
+        assert arrived == list(range(len(tiny_devices)))
+        assert srv.meter.server_up == len(tiny_devices)
+
+    def test_model_units_scale(self, tiny_devices, tiny_split):
+        srv = make_server(tiny_devices, tiny_split)
+        srv.broadcast(tiny_devices, model_units=2.0)
+        srv.collect(tiny_devices, model_units=2.0)
+        assert srv.meter.server_down == 2.0 * len(tiny_devices)
+        assert srv.meter.server_up == 2.0 * len(tiny_devices)
+
+    def test_peer_send_meters(self, tiny_devices, tiny_split):
+        srv = make_server(tiny_devices, tiny_split)
+        srv.peer_send(5)
+        assert srv.meter.peer == 5
+
+    def test_empty_calls_are_noops(self, tiny_devices, tiny_split):
+        srv = make_server(tiny_devices, tiny_split)
+        assert srv.broadcast([]) == []
+        assert srv.collect([]) == []
+        assert srv.meter.server_total == 0
+        assert srv.clock.now == 0.0
+
+    def test_lost_messages_still_metered(self, tiny_devices, tiny_split):
+        """The paper costs transmitted models; a dropped one was transmitted."""
+        env = Environment(UniformNetwork(drop_prob=0.5))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        srv.broadcast(tiny_devices)
+        assert srv.meter.server_down == len(tiny_devices)
+
+
+class TestClockCharging:
+    def test_ideal_charges_nothing(self, tiny_devices, tiny_split):
+        srv = make_server(tiny_devices, tiny_split)
+        srv.broadcast(tiny_devices)
+        srv.collect(tiny_devices)
+        assert srv.clock.now == 0.0
+
+    def test_transfer_time_advances_clock(self, tiny_devices, tiny_split):
+        env = Environment(UniformNetwork(latency=0.1, bandwidth=2.0))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        srv.broadcast(tiny_devices)  # slowest link: 0.1 + 1/2
+        assert srv.clock.now == pytest.approx(0.6)
+        srv.collect(tiny_devices, model_units=2.0)  # 0.1 + 2/2
+        assert srv.clock.now == pytest.approx(1.7)
+
+    def test_round_time_includes_transfers(self, tiny_devices, tiny_split):
+        """Round wall-clock = down-transfer + compute + up-transfer."""
+        env = Environment(UniformNetwork(latency=0.25))
+        srv = make_server(tiny_devices, tiny_split, env=env, rounds=1)
+        result = srv.fit()
+        compute = max(d.unit_time for d in tiny_devices)
+        assert result.history.times[-1] == pytest.approx(compute + 0.5)
+
+
+class TestDrops:
+    def test_drops_reduce_deliveries(self, tiny_devices, tiny_split):
+        env = Environment(UniformNetwork(drop_prob=0.5))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        delivered = [len(srv.broadcast(tiny_devices)) for _ in range(50)]
+        assert min(delivered) < len(tiny_devices)
+        assert srv.dropped_messages > 0
+
+    def test_ensure_one_guarantees_progress(self, tiny_devices, tiny_split):
+        env = Environment(UniformNetwork(drop_prob=0.99))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        for _ in range(30):
+            assert len(srv.broadcast(tiny_devices)) >= 1
+            assert len(srv.collect(tiny_devices)) >= 1
+
+    def test_event_level_calls_may_drop_everything(self, tiny_devices, tiny_split):
+        env = Environment(UniformNetwork(drop_prob=0.99))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        outcomes = {len(srv.collect([tiny_devices[0]], ensure_one=False))
+                    for _ in range(50)}
+        assert 0 in outcomes
+
+    def test_drop_sequence_reproducible(self, tiny_devices, tiny_split):
+        def run():
+            env = Environment(UniformNetwork(drop_prob=0.4))
+            srv = make_server(tiny_devices, tiny_split, env=env)
+            return [tuple(srv.collect(tiny_devices)) for _ in range(10)]
+
+        assert run() == run()
+
+
+class TestAvailability:
+    def test_offline_devices_not_selected(self, tiny_devices, tiny_split):
+        traces = {d.device_id: [False, True] for d in tiny_devices[:4]}
+        env = Environment(availability=TraceAvailability(traces))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        round1 = srv.select_participants(1)
+        round2 = srv.select_participants(2)
+        assert [d.device_id for d in round1] == [d.device_id for d in tiny_devices[4:]]
+        assert len(round2) == len(tiny_devices)
+        assert srv.unavailable_count == 4
+
+    def test_all_offline_round_keeps_one(self, tiny_devices, tiny_split):
+        traces = {d.device_id: [False] for d in tiny_devices}
+        env = Environment(availability=TraceAvailability(traces))
+        srv = make_server(tiny_devices, tiny_split, env=env)
+        participants = srv.select_participants(1)
+        assert len(participants) == 1
+
+    def test_churn_composes_with_participation(self, tiny_devices, tiny_split):
+        env = Environment(availability=BernoulliAvailability(0.5))
+        srv = make_server(tiny_devices, tiny_split, env=env, participation=0.5)
+        sizes = [len(srv.select_participants(r)) for r in range(1, 40)]
+        assert all(1 <= s <= len(tiny_devices) for s in sizes)
+        # Two thinning stages: usually well below half the fleet.
+        assert np.mean(sizes) < 0.5 * len(tiny_devices)
+
+    def test_fit_survives_heavy_churn(self, tiny_devices, tiny_split):
+        env = Environment(UniformNetwork(drop_prob=0.3),
+                          BernoulliAvailability(0.4))
+        srv = make_server(tiny_devices, tiny_split, env=env, rounds=3)
+        result = srv.fit()
+        assert np.isfinite(result.final_weights).all()
+        assert len(result.history.rounds) == 3
+
+
+class TestNoDirectMeterCalls:
+    def test_method_files_use_channel_api_only(self):
+        """Acceptance criterion: no method file records transfers directly."""
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        method_files = [
+            *(src / "baselines").glob("*.py"),
+            src / "core" / "fedhisyn.py",
+        ]
+        assert len(method_files) >= 8  # 6 baselines + __init__ + fedhisyn
+        pattern = re.compile(r"meter\.record_")
+        for path in method_files:
+            assert not pattern.search(path.read_text()), (
+                f"{path.name} bypasses the channel API with a direct "
+                "meter.record_* call"
+            )

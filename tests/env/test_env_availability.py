@@ -1,0 +1,97 @@
+"""Tests for repro.env.availability: churn models and their edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.env.availability import (
+    AlwaysOn,
+    BernoulliAvailability,
+    CapacityCorrelatedAvailability,
+    TraceAvailability,
+)
+
+
+class _Dev:
+    def __init__(self, device_id, unit_time=1.0):
+        self.device_id = device_id
+        self.unit_time = unit_time
+
+
+def fleet(n=6, times=None):
+    times = times if times is not None else [1.0] * n
+    return [_Dev(i, t) for i, t in enumerate(times)]
+
+
+class TestAlwaysOn:
+    def test_everyone_online_without_rng(self):
+        model = AlwaysOn()
+        assert model.always_on
+        mask = model.available_mask(1, fleet(4), rng=None)  # rng untouched
+        assert mask.all() and len(mask) == 4
+
+
+class TestBernoulli:
+    def test_up_prob_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliAvailability(up_prob=0.0)
+        with pytest.raises(ValueError):
+            BernoulliAvailability(up_prob=1.5)
+
+    def test_full_up_prob_never_draws(self):
+        model = BernoulliAvailability(up_prob=1.0)
+        assert model.available_mask(1, fleet(5), rng=None).all()
+
+    def test_rate_roughly_matches(self):
+        model = BernoulliAvailability(up_prob=0.3)
+        rng = np.random.default_rng(0)
+        total = sum(
+            model.available_mask(r, fleet(10), rng).sum() for r in range(200)
+        )
+        assert 0.2 < total / 2000 < 0.4
+
+    def test_reproducible_given_rng(self):
+        model = BernoulliAvailability(up_prob=0.5)
+        m1 = model.available_mask(1, fleet(8), np.random.default_rng(3))
+        m2 = model.available_mask(1, fleet(8), np.random.default_rng(3))
+        assert (m1 == m2).all()
+
+
+class TestTrace:
+    def test_round_indexing_is_one_based_and_cycles(self):
+        model = TraceAvailability({0: [True, False]}, default=True)
+        devs = fleet(2)
+        assert model.available_mask(1, devs, None).tolist() == [True, True]
+        assert model.available_mask(2, devs, None).tolist() == [False, True]
+        assert model.available_mask(3, devs, None).tolist() == [True, True]
+
+    def test_default_applies_to_untraced_devices(self):
+        model = TraceAvailability({}, default=False)
+        assert not model.available_mask(1, fleet(3), None).any()
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceAvailability({0: []})
+
+
+class TestCapacityCorrelated:
+    def test_slow_devices_flakier(self):
+        model = CapacityCorrelatedAvailability(up_prob=0.95, slow_penalty=0.9)
+        devs = fleet(times=[0.1, 0.1, 0.1, 1.0, 1.0, 1.0])
+        rng = np.random.default_rng(0)
+        fast_up = slow_up = 0
+        for r in range(300):
+            mask = model.available_mask(r, devs, rng)
+            fast_up += mask[:3].sum()
+            slow_up += mask[3:].sum()
+        assert fast_up > slow_up * 2
+
+    def test_homogeneous_fleet_uses_base_prob(self):
+        model = CapacityCorrelatedAvailability(up_prob=1.0, slow_penalty=0.5)
+        mask = model.available_mask(1, fleet(5), np.random.default_rng(0))
+        assert mask.all()  # equal times: nobody is "slow", p = up_prob = 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityCorrelatedAvailability(up_prob=1.2)
+        with pytest.raises(ValueError):
+            CapacityCorrelatedAvailability(slow_penalty=-0.1)

@@ -1,0 +1,105 @@
+"""Tests for the Environment combiner and the preset registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    AlwaysOn,
+    BernoulliAvailability,
+    Environment,
+    IdealNetwork,
+    UniformNetwork,
+    available_environments,
+    environment_entries,
+    make_environment,
+)
+
+
+class _Dev:
+    def __init__(self, device_id, unit_time=1.0):
+        self.device_id = device_id
+        self.unit_time = unit_time
+
+
+class TestEnvironment:
+    def test_ideal_is_ideal(self):
+        env = Environment.ideal()
+        assert env.is_ideal
+        assert env.server_transfer_time([_Dev(0), _Dev(1)]) == 0.0
+
+    def test_non_ideal_detection(self):
+        assert not Environment(UniformNetwork(latency=0.1)).is_ideal
+        assert not Environment(UniformNetwork(drop_prob=0.1)).is_ideal
+        assert not Environment(availability=BernoulliAvailability(0.5)).is_ideal
+
+    def test_server_transfer_time_is_slowest_link(self):
+        env = Environment(UniformNetwork(latency=0.1, bandwidth=2.0))
+        devs = [_Dev(0), _Dev(1)]
+        assert env.server_transfer_time(devs) == pytest.approx(0.6)
+        assert env.server_transfer_time(devs, model_units=2.0) == pytest.approx(1.1)
+        assert env.server_transfer_time([]) == 0.0
+
+    def test_available_never_empty(self):
+        """An all-offline round falls back to one rng-chosen participant."""
+
+        class _Nobody(BernoulliAvailability):
+            def available_mask(self, round_idx, devices, rng):
+                return np.zeros(len(devices), dtype=bool)
+
+        env = Environment(availability=_Nobody(0.5))
+        devs = [_Dev(i) for i in range(5)]
+        online = env.available(1, devs, np.random.default_rng(0))
+        assert len(online) == 1 and online[0] in devs
+
+    def test_always_on_returns_devices_unchanged(self):
+        env = Environment.ideal()
+        devs = [_Dev(i) for i in range(3)]
+        assert env.available(1, devs, rng=None) == devs
+
+    def test_type_validation(self):
+        with pytest.raises(ValueError, match="NetworkModel"):
+            Environment(network="wan")
+        with pytest.raises(ValueError, match="AvailabilityModel"):
+            Environment(availability="always")
+
+
+class TestRegistry:
+    def test_required_presets_exist(self):
+        names = available_environments()
+        for required in ("ideal", "lan", "wan", "flaky_mobile"):
+            assert required in names
+        assert len(names) >= 4
+
+    def test_ideal_preset_is_bit_identity_safe(self):
+        env = make_environment("ideal")
+        assert env.is_ideal
+        assert isinstance(env.availability, AlwaysOn)
+        assert env.network.is_instant
+
+    def test_presets_construct_and_describe(self):
+        for entry in environment_entries():
+            env = make_environment(entry.name)
+            assert env.name == entry.name
+            assert entry.description
+            assert env.describe()
+
+    def test_overrides_apply(self):
+        env = make_environment("lan", drop_prob=0.25, availability="bernoulli",
+                               up_prob=0.5)
+        assert env.network.drop_prob == 0.25
+        assert isinstance(env.availability, BernoulliAvailability)
+        assert env.availability.up_prob == 0.5
+
+    def test_unknown_name_and_kwargs_raise(self):
+        with pytest.raises(ValueError, match="unknown environment"):
+            make_environment("the_moon")
+        with pytest.raises(ValueError, match="env_kwargs"):
+            make_environment("wan", warp_speed=9)
+        with pytest.raises(ValueError):
+            make_environment("ideal", availability="sometimes")
+
+    def test_ideal_network_class(self):
+        assert IdealNetwork().transfer_time(0, 1, 7.0) == 0.0
+        assert math.isinf(IdealNetwork().bandwidth(0, 1))

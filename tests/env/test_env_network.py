@@ -1,0 +1,117 @@
+"""Tests for repro.env.network: transfer times, drops, the delay protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.env.network import (
+    SERVER,
+    IdealNetwork,
+    NetworkModel,
+    SampledNetwork,
+    UniformNetwork,
+)
+
+
+class TestIdealNetwork:
+    def test_everything_is_free(self):
+        net = IdealNetwork()
+        assert net.is_instant
+        assert net.drop_prob == 0.0
+        assert net.transfer_time(SERVER, 0) == 0.0
+        assert net.transfer_time(0, 1, model_units=5.0) == 0.0
+        assert net.delay(0, 1) == 0.0
+
+
+class TestUniformNetwork:
+    def test_latency_plus_bandwidth(self):
+        net = UniformNetwork(latency=0.1, bandwidth=4.0)
+        assert net.transfer_time(SERVER, 0) == pytest.approx(0.35)
+        # Two model units (SCAFFOLD): twice the serialization term.
+        assert net.transfer_time(SERVER, 0, model_units=2.0) == pytest.approx(0.6)
+
+    def test_infinite_bandwidth_is_latency_only(self):
+        net = UniformNetwork(latency=0.2)
+        assert net.transfer_time(SERVER, 3, model_units=100.0) == pytest.approx(0.2)
+
+    def test_zero_bandwidth_guard(self):
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            UniformNetwork(bandwidth=0.0)
+        with pytest.raises(ValueError, match="peer_bandwidth must be positive"):
+            UniformNetwork(peer_bandwidth=-1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            UniformNetwork(latency=-0.1)
+
+    def test_drop_prob_validation(self):
+        with pytest.raises(ValueError):
+            UniformNetwork(drop_prob=1.0)
+        with pytest.raises(ValueError):
+            UniformNetwork(drop_prob=-0.1)
+
+    def test_peer_overrides(self):
+        net = UniformNetwork(latency=0.5, bandwidth=1.0,
+                             peer_latency=0.0, peer_bandwidth=math.inf)
+        assert net.transfer_time(SERVER, 0) == pytest.approx(1.5)
+        assert net.transfer_time(0, 1) == 0.0  # peer hops free
+
+    def test_delay_protocol_matches_transfer_time(self):
+        """The LinkDelayModel view (ring engine) is the one-model time."""
+        net = UniformNetwork(latency=0.1, bandwidth=2.0, peer_latency=0.3,
+                             peer_bandwidth=2.0)
+        assert net.delay(0, 1) == pytest.approx(0.8)
+        row = net.delay_row(0, np.array([1, 2, 3]))
+        assert row == pytest.approx([0.8, 0.8, 0.8])
+
+    def test_is_instant_detection(self):
+        assert UniformNetwork().is_instant
+        assert not UniformNetwork(latency=0.1).is_instant
+        assert not UniformNetwork(bandwidth=5.0).is_instant
+        # Dropping alone does not make links slow.
+        assert UniformNetwork(drop_prob=0.5).is_instant
+
+
+class TestSampledNetwork:
+    def test_deterministic_per_device(self):
+        a = SampledNetwork(latency=0.1, latency_spread=0.5, seed=7)
+        b = SampledNetwork(latency=0.1, latency_spread=0.5, seed=7)
+        for dev in (0, 3, 11):
+            assert a.transfer_time(SERVER, dev) == b.transfer_time(SERVER, dev)
+
+    def test_spread_differentiates_devices(self):
+        net = SampledNetwork(latency=0.1, latency_spread=1.0, seed=0)
+        times = {net.transfer_time(SERVER, d) for d in range(8)}
+        assert len(times) > 1
+
+    def test_seed_changes_draws(self):
+        a = SampledNetwork(latency=0.1, latency_spread=1.0, seed=0)
+        b = SampledNetwork(latency=0.1, latency_spread=1.0, seed=1)
+        assert any(
+            a.transfer_time(SERVER, d) != b.transfer_time(SERVER, d)
+            for d in range(8)
+        )
+
+    def test_bandwidth_spread(self):
+        net = SampledNetwork(bandwidth=10.0, bandwidth_spread=1.0, seed=2)
+        bws = {net.bandwidth(SERVER, d) for d in range(8)}
+        assert len(bws) > 1
+        assert all(bw > 0 for bw in bws)
+
+    def test_delay_row_varies_per_destination(self):
+        net = SampledNetwork(latency=0.2, latency_spread=1.0, seed=3)
+        row = net.delay_row(0, np.array([1, 2, 3, 4]))
+        assert len(set(np.round(row, 12))) > 1
+        # delay_row agrees with scalar delay.
+        assert row[0] == pytest.approx(net.delay(0, 1))
+
+
+class TestProtocol:
+    def test_base_class_is_abstract(self):
+        net = NetworkModel()
+        with pytest.raises(NotImplementedError):
+            net.latency(0, 1)
+        with pytest.raises(NotImplementedError):
+            net.bandwidth(0, 1)
+        assert not net.is_instant

@@ -1,0 +1,67 @@
+"""Regenerate the golden metric histories for the env="ideal" equivalence tests.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+The files under ``tests/golden/`` pin the exact per-round metric histories
+of every registered method on one small experiment.  They were first
+captured at the commit *before* the environment layer existed, so the
+equivalence tests prove that ``env="ideal"`` reproduces pre-refactor
+behavior bit-for-bit.  Only regenerate them when a PR deliberately changes
+training semantics (and say so in the PR).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import ExperimentSpec, run_experiment
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: One small-but-nontrivial setup: heterogeneous fleet, Dirichlet skew,
+#: several rounds, every method on identical data.  Full participation is
+#: deliberate — the FedAT tier-state fix (ISSUE 3) changes behavior only
+#: below 100% participation.
+GOLDEN_SPEC = dict(
+    dataset="mnist_like",
+    num_samples=400,
+    num_devices=6,
+    partition="dirichlet",
+    beta=0.3,
+    rounds=3,
+    local_epochs=1,
+    eval_every=1,
+    model_preset="small",
+    seed=0,
+)
+
+METHOD_KWARGS = {"fedhisyn": {"num_classes": 3}}
+
+
+def main() -> None:
+    for method in ("fedavg", "fedprox", "scaffold", "tfedavg", "tafedavg",
+                   "fedat", "fedhisyn"):
+        spec = ExperimentSpec(
+            method=method,
+            method_kwargs=METHOD_KWARGS.get(method, {}),
+            **GOLDEN_SPEC,
+        )
+        result = run_experiment(spec)
+        payload = {
+            "spec": {"method": method,
+                     "method_kwargs": METHOD_KWARGS.get(method, {}),
+                     **GOLDEN_SPEC},
+            "history": result.history.to_dict(),
+            "per_round_unit": result.per_round_unit,
+            "final_weights_sum": float(result.final_weights.sum()),
+        }
+        path = GOLDEN_DIR / f"{method}.json"
+        path.write_text(json.dumps(payload, indent=1))
+        print(f"wrote {path} (final acc {result.final_accuracy:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.datasets.core import ClassificationDataset
-from repro.device.device import Device
 from repro.simulation.engine import RingRoundEngine
 
-from tests.simulation.test_engine import LineageTrainer, make_fleet
+from tests.simulation.test_engine import make_fleet
 
 
 class TestDropInjection:
@@ -71,3 +69,30 @@ class TestDropInjection:
         srv.engine.drop_prob = 0.3
         result = srv.fit()
         assert result.final_accuracy > 1.5 / test_set.num_classes
+
+
+class TestEngineEnvPrecedence:
+    def test_env_supplies_drop_prob(self):
+        from repro.env import make_environment
+
+        engine = RingRoundEngine(make_fleet([1.0]),
+                                 env=make_environment("flaky_mobile"))
+        assert engine.drop_prob == 0.05
+        assert engine.delay_model is not None
+
+    def test_explicit_zero_overrides_lossy_env(self):
+        """drop_prob=0.0 must pin a lossless ring even under a lossy env."""
+        from repro.env import make_environment
+
+        engine = RingRoundEngine(make_fleet([1.0]), drop_prob=0.0,
+                                 env=make_environment("flaky_mobile"))
+        assert engine.drop_prob == 0.0
+
+    def test_explicit_delay_model_overrides_env(self):
+        from repro.device.network import UniformDelay
+        from repro.env import make_environment
+
+        pinned = UniformDelay(0.7)
+        engine = RingRoundEngine(make_fleet([1.0]), delay_model=pinned,
+                                 env=make_environment("satellite"))
+        assert engine.delay_model is pinned

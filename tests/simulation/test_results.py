@@ -1,7 +1,6 @@
 """Tests for RunResult."""
 
 import numpy as np
-import pytest
 
 from repro.simulation.metrics import MetricsHistory
 from repro.simulation.results import RunResult

@@ -161,3 +161,69 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "methods:" in out and "datasets:" in out
+
+
+class TestEnvironmentFlags:
+    def test_env_args_reach_spec(self):
+        args = build_parser().parse_args(
+            ["run", "--env", "flaky_mobile", "--drop-prob", "0.1",
+             "--availability", "bernoulli"]
+        )
+        spec = spec_from_args(args)
+        assert spec.env == "flaky_mobile"
+        assert spec.env_kwargs == {"drop_prob": 0.1,
+                                   "availability": "bernoulli"}
+
+    def test_default_env_is_ideal_with_no_kwargs(self):
+        spec = spec_from_args(build_parser().parse_args(["run"]))
+        assert spec.env == "ideal"
+        assert spec.env_kwargs == {}
+
+    def test_units_flags_reach_spec(self):
+        args = build_parser().parse_args(
+            ["run", "--units-low", "2", "--units-high", "6"]
+        )
+        spec = spec_from_args(args)
+        assert spec.units_low == 2
+        assert spec.units_high == 6
+
+    def test_bad_units_bounds_error(self, capsys):
+        rc = main(["run", "--method", "fedavg", *COMMON, "--quiet",
+                   "--units-low", "5", "--units-high", "2"])
+        assert rc == 2
+        assert "units_high" in capsys.readouterr().err
+
+    def test_unknown_env_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--env", "the_moon"])
+
+    def test_run_with_non_ideal_env(self, capsys):
+        rc = main(["run", "--method", "fedavg", *COMMON, "--quiet",
+                   "--env", "churn"])
+        assert rc == 0
+        assert "fedavg: final accuracy" in capsys.readouterr().out
+
+    def test_run_json_records_env(self, capsys):
+        rc = main(["run", "--method", "fedavg", *COMMON, "--json",
+                   "--env", "satellite", "--drop-prob", "0.05"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["env"] == "satellite"
+        assert payload["config"]["env_kwargs"] == {"drop_prob": 0.05}
+
+    def test_sweep_env_grid_axis(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0",
+                   "--grid", "env=ideal,churn", *COMMON, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "env" in out and "churn" in out
+
+    def test_list_envs(self, capsys):
+        assert main(["list", "envs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ideal", "lan", "wan", "flaky_mobile"):
+            assert name in out
+
+    def test_list_all_includes_envs(self, capsys):
+        assert main(["list"]) == 0
+        assert "environments:" in capsys.readouterr().out

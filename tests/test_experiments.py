@@ -188,3 +188,66 @@ class TestRunExperiment:
         a = run_experiment(fast_spec(seed=1))
         b = run_experiment(fast_spec(seed=2))
         assert not np.array_equal(a.final_weights, b.final_weights)
+
+
+class TestEnvironmentWiring:
+    def test_default_env_is_ideal(self):
+        srv = build_experiment(fast_spec())
+        assert srv.env.is_ideal
+
+    def test_env_field_reaches_server(self):
+        srv = build_experiment(fast_spec(env="churn"))
+        assert srv.env.name == "churn"
+        assert not srv.env.is_ideal
+
+    def test_env_kwargs_override(self):
+        srv = build_experiment(fast_spec(env="lan",
+                                         env_kwargs={"drop_prob": 0.2}))
+        assert srv.env.network.drop_prob == 0.2
+
+    def test_fedhisyn_engine_shares_env(self):
+        srv = build_experiment(fast_spec(method="fedhisyn", env="satellite",
+                                         method_kwargs={"num_classes": 2}))
+        assert srv.engine.delay_model is srv.env.network
+        assert srv.engine.drop_prob == srv.env.network.drop_prob
+
+    def test_bad_env_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="unknown environment"):
+            fast_spec(env="the_moon")
+        with pytest.raises(ValueError, match="env_kwargs"):
+            fast_spec(env="wan", env_kwargs={"warp_speed": 9})
+        with pytest.raises(ValueError, match="env_kwargs must be a dict"):
+            fast_spec(env_kwargs="lossy")
+
+    def test_env_spec_round_trips_through_json(self):
+        import json as _json
+
+        spec = fast_spec(env="flaky_mobile",
+                         env_kwargs={"drop_prob": 0.1, "up_prob": 0.8})
+        wire = _json.loads(_json.dumps(spec.to_dict()))
+        assert ExperimentSpec.from_dict(wire) == spec
+
+    def test_run_records_env_in_config(self):
+        result = run_experiment(fast_spec(rounds=1, env="churn",
+                                          env_kwargs={"up_prob": 0.8}))
+        assert result.config["env"] == "churn"
+        assert result.config["env_kwargs"] == {"up_prob": 0.8}
+
+    def test_non_ideal_run_is_deterministic(self):
+        a = run_experiment(fast_spec(rounds=2, env="flaky_mobile", seed=7))
+        b = run_experiment(fast_spec(rounds=2, env="flaky_mobile", seed=7))
+        assert a.history.to_dict() == b.history.to_dict()
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_every_method_survives_flaky_mobile(self, method):
+        spec = fast_spec(method=method, method_kwargs={}, rounds=2,
+                         env="flaky_mobile",
+                         env_kwargs={"drop_prob": 0.2, "up_prob": 0.7})
+        result = run_experiment(spec)
+        assert np.isfinite(result.final_weights).all()
+        assert len(result.history.rounds) == 2
+
+    def test_latency_env_slows_virtual_time(self):
+        fast = run_experiment(fast_spec(rounds=2))
+        slow = run_experiment(fast_spec(rounds=2, env="satellite"))
+        assert slow.history.times[-1] > fast.history.times[-1]
