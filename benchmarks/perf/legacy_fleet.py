@@ -1,0 +1,107 @@
+"""Faithful re-implementation of the pre-fleet per-object device path.
+
+The struct-of-arrays :class:`~repro.device.fleet.DeviceFleet` replaced a
+device layer where every participant was a Python object holding its own
+weight vector and shard copy, and where every round-level operation —
+selection, availability, slowest-link charging, the result stack, sample
+counts, round duration — looped over those objects.  This module preserves
+that path, operation for operation, so the perf suite can measure the
+"before" side on current hardware and pin the fleet engine to it bitwise:
+
+* :func:`legacy_make_devices` — the seed ``make_devices``: one
+  fancy-index shard copy and one ``Device`` object per entry.
+* :class:`PerObjectFedAvgServer` — ``FedAvgServer`` with the pre-fleet
+  ``run_round`` body: a fresh result allocation per device
+  (``theta.copy()``) plus a stack write, Python-loop sample counts and
+  round duration.  Built over a device *list*, the base server also takes
+  its legacy branches for selection, availability filtering and
+  transfer-time charging.
+* :class:`NullTrainer` — a weights-in/weights-out stub shared by both
+  sides of the round-orchestration benchmark, so the measured difference
+  is exactly the device-layer round execution, never the (bit-identical)
+  local SGD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.fedavg import FedAvgServer
+from repro.core.aggregation import sample_weighted_average
+from repro.datasets.core import ClassificationDataset
+from repro.device.device import Device, LocalTrainer
+
+__all__ = ["NullTrainer", "PerObjectFedAvgServer", "legacy_make_devices"]
+
+
+class NullTrainer(LocalTrainer):
+    """Training stub: the result *materializes* but no SGD runs.
+
+    Mirrors the real trainer's output contract — a fresh ``weights.copy()``
+    on the legacy path (``out=None``), one ``copyto`` into the caller's
+    row on the fleet path — so each side pays exactly the result-movement
+    cost its device layer implies and nothing else.
+    """
+
+    def train(
+        self,
+        weights: np.ndarray,
+        shard: ClassificationDataset,
+        epochs: int,
+        stream_key: tuple[int, ...] = (0,),
+        anchor: np.ndarray | None = None,
+        mu: float = 0.0,
+        correction: np.ndarray | None = None,
+        lr: float | None = None,
+        out: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, int]:
+        if out is None:
+            return weights.copy(), 1
+        np.copyto(out, weights)
+        return out, 1
+
+
+def legacy_make_devices(
+    dataset: ClassificationDataset,
+    parts: list[np.ndarray],
+    unit_times: np.ndarray,
+    trainer: LocalTrainer,
+) -> list[Device]:
+    """The seed ``make_devices``: per-device subset copies + objects."""
+    if len(parts) != len(unit_times):
+        raise ValueError("parts and unit_times disagree")
+    return [
+        Device(
+            device_id=i,
+            shard=dataset.subset(idx, name=f"{dataset.name}/dev{i}"),
+            unit_time=float(unit_times[i]),
+            trainer=trainer,
+        )
+        for i, idx in enumerate(parts)
+    ]
+
+
+class PerObjectFedAvgServer(FedAvgServer):
+    """FedAvg with the pre-fleet per-object round body, op for op."""
+
+    def run_round(
+        self,
+        round_idx: int,
+        participants: list[Device],
+        global_weights: np.ndarray,
+    ) -> np.ndarray:
+        duration = max(d.unit_time for d in participants)
+        receivers = self.broadcast(participants)
+        stack = np.empty((len(receivers), self.trainer.dim))
+        for i, dev in enumerate(receivers):
+            stack[i] = dev.run_unit(
+                global_weights,
+                self.local_epochs_for(dev, duration),
+                round_idx,
+                0,
+            )
+        arrived = self.collect(receivers)
+        self.clock.advance_by(duration)
+        counts = np.array([d.num_samples for d in receivers])
+        stack, counts = self.filter_arrived(arrived, stack, counts)
+        return sample_weighted_average(stack, counts)

@@ -12,6 +12,24 @@ Four hot paths, matching where the reproduction spends its runtime:
 * ``aggregation`` — uniform + sample-weighted averaging of a device stack.
 * ``fedhisyn_round`` — wall time per round of a small end-to-end FedHiSyn
   run (trajectory number; no legacy pair).
+
+Fleet-scale pair (the struct-of-arrays device layer vs the per-object
+path it replaced, :mod:`benchmarks.perf.legacy_fleet`):
+
+* ``fleet_build`` — population construction: one gathered data block vs
+  per-device shard copies + objects.
+* ``fleet_round`` — FedAvg **round execution** over thousands of devices
+  under a non-ideal (lossless) environment: selection, availability,
+  slowest-link charging, result movement, aggregation.  Local SGD is
+  replaced by a shared weights-through stub on *both* sides — it is
+  bit-identical math either way, and including it would only dilute the
+  device-layer measurement being made.  Finals are asserted bitwise
+  equal between the two paths, and the report records peak device-state
+  bytes for each (the O(dim x participants) vs O(dim x ever-active)
+  story).
+* ``fedavg_round_e2e`` — the same pair with *real* local training, the
+  honest end-to-end round number (training dominates, so the speedup is
+  modest by construction).
 """
 
 from __future__ import annotations
@@ -27,9 +45,22 @@ from benchmarks.perf.legacy import (
     legacy_paper_mlp,
     legacy_set_flat_params,
 )
+from benchmarks.perf.legacy_fleet import (
+    NullTrainer,
+    PerObjectFedAvgServer,
+    legacy_make_devices,
+)
+from repro.baselines.fedavg import FedAvgConfig, FedAvgServer
 from repro.core.aggregation import sample_weighted_average, uniform_average
+from repro.datasets.core import train_test_split
+from repro.datasets.partition import partition_by_name
 from repro.datasets.synthetic import mnist_like
 from repro.device.device import LocalTrainer
+from repro.device.fleet import make_fleet
+from repro.device.heterogeneity import sample_unit_counts, unit_times_from_counts
+from repro.env.availability import CapacityCorrelatedAvailability
+from repro.env.environment import Environment
+from repro.env.network import SampledNetwork
 from repro.experiments import ExperimentSpec, build_experiment
 from repro.nn.models import paper_mlp
 from repro.nn.serialization import get_flat_params, set_flat_params
@@ -54,6 +85,12 @@ class PerfScale:
     round_devices: int
     round_samples: int
     rounds: int
+    # Fleet-scale pair (struct-of-arrays layer vs the per-object path).
+    fleet_devices: int
+    fleet_samples: int
+    fleet_rounds: int
+    fleet_participation: float
+    e2e_participation: float
 
 
 SCALES = {
@@ -71,6 +108,11 @@ SCALES = {
         round_devices=10,
         round_samples=600,
         rounds=2,
+        fleet_devices=5000,
+        fleet_samples=12500,
+        fleet_rounds=3,
+        fleet_participation=1.0,
+        e2e_participation=0.1,
     ),
     "full": PerfScale(
         name="full",
@@ -86,6 +128,11 @@ SCALES = {
         round_devices=20,
         round_samples=1500,
         rounds=5,
+        fleet_devices=10000,
+        fleet_samples=25000,
+        fleet_rounds=3,
+        fleet_participation=1.0,
+        e2e_participation=0.1,
     ),
 }
 
@@ -248,6 +295,161 @@ def _bench_fedhisyn_round(scale: PerfScale) -> dict:
     }
 
 
+def _fleet_substrate(scale: PerfScale):
+    """Shared data/partition/heterogeneity for the fleet-scale pair."""
+    dataset = mnist_like(
+        num_samples=scale.fleet_samples, seed=11, feature_dim=scale.feature_dim
+    )
+    train_set, test_set = train_test_split(dataset, 0.04, seed=12)
+    parts = partition_by_name("iid", train_set, scale.fleet_devices, seed=13)
+    counts = sample_unit_counts(scale.fleet_devices, 1, 10, seed=14)
+    return train_set, test_set, parts, unit_times_from_counts(counts)
+
+
+def _fleet_env() -> Environment:
+    """Non-ideal but lossless world: per-device link quality + churn.
+
+    Exercises the vectorized availability masks and slowest-link charging
+    (the per-object path pays a Python transfer-time call per device per
+    channel call); drop_prob stays 0 so both paths are deterministic and
+    the fleet recycles its round arena.
+    """
+    return Environment(
+        SampledNetwork(
+            latency=0.02,
+            bandwidth=200.0,
+            latency_spread=0.3,
+            bandwidth_spread=0.3,
+            seed=5,
+        ),
+        CapacityCorrelatedAvailability(up_prob=0.9, slow_penalty=0.3),
+        name="fleet-bench",
+    )
+
+
+def _reset_server(server) -> None:
+    """Fresh per-run mutable state so repeated fits measure identical work."""
+    server.history = type(server.history)()
+    server.clock = type(server.clock)()
+    server.meter = type(server.meter)()
+    server.unavailable_count = 0
+
+
+def _bench_fleet_build(scale: PerfScale) -> dict:
+    model = paper_mlp(scale.feature_dim, scale.num_classes, seed=0, hidden=(32, 16))
+    trainer = LocalTrainer(model, lr=0.1, batch_size=50, seed=2)
+    train_set, _, parts, unit_times = _fleet_substrate(scale)
+    repeats = 3
+
+    after, before = _best_pair(
+        lambda: make_fleet(train_set, parts, unit_times, trainer),
+        lambda: legacy_make_devices(train_set, parts, unit_times, trainer),
+        repeats,
+    )
+    return _pair(before, after, devices=scale.fleet_devices)
+
+
+def _fleet_round_pair(scale: PerfScale, trainer, participation: float, rounds: int,
+                      env_factory):
+    """(after_server, before_server, fleet, legacy_devices, w0) on one
+    shared substrate + trainer, finals asserted bitwise equal."""
+    train_set, test_set, parts, unit_times = _fleet_substrate(scale)
+    fleet = make_fleet(train_set, parts, unit_times, trainer)
+    legacy_devices = legacy_make_devices(train_set, parts, unit_times, trainer)
+    config = FedAvgConfig(
+        rounds=rounds,
+        participation=participation,
+        local_epochs=1,
+        eval_every=rounds,
+        seed=3,
+    )
+    after_srv = FedAvgServer(fleet, test_set, config, env=env_factory())
+    before_srv = PerObjectFedAvgServer(
+        legacy_devices, test_set, config, env=env_factory()
+    )
+    w0 = get_flat_params(trainer.model)
+
+    # The fleet path must be the per-object path, bit for bit: same
+    # selection/availability draws, same charged transfer times, same
+    # finals — before any timing is trusted.
+    res_after = after_srv.fit(initial_weights=w0)
+    res_before = before_srv.fit(initial_weights=w0)
+    np.testing.assert_array_equal(res_after.final_weights, res_before.final_weights)
+    assert after_srv.clock.now == before_srv.clock.now
+    assert after_srv.meter.server_total == before_srv.meter.server_total
+    return after_srv, before_srv, fleet, legacy_devices, w0
+
+
+def _state_detail(scale: PerfScale, fleet, legacy_devices) -> dict:
+    per_object_rows = sum(1 for d in legacy_devices if d.weights is not None)
+    per_object_bytes = sum(
+        d.weights.nbytes for d in legacy_devices if d.weights is not None
+    )
+    return {
+        "fleet_state_mb": round(fleet.state_nbytes / 1e6, 3),
+        "per_object_state_mb": round(per_object_bytes / 1e6, 3),
+        "fleet_rows": fleet.materialized_rows,
+        "per_object_rows": per_object_rows,
+        "dim": fleet.dim,
+    }
+
+
+def _bench_fleet_round(scale: PerfScale) -> dict:
+    model = paper_mlp(scale.feature_dim, scale.num_classes, seed=0, hidden=(32, 16))
+    trainer = NullTrainer(model, lr=0.1, batch_size=50, seed=2)
+    after_srv, before_srv, fleet, legacy_devices, w0 = _fleet_round_pair(
+        scale, trainer, scale.fleet_participation, scale.fleet_rounds, _fleet_env
+    )
+
+    def run_after() -> None:
+        _reset_server(after_srv)
+        after_srv.fit(initial_weights=w0)
+
+    def run_before() -> None:
+        _reset_server(before_srv)
+        before_srv.fit(initial_weights=w0)
+
+    repeats = max(3, scale.repeats // 3)
+    after, before = _best_pair(run_after, run_before, repeats)
+    rounds = scale.fleet_rounds
+    return _pair(
+        before / rounds,
+        after / rounds,
+        devices=scale.fleet_devices,
+        rounds=rounds,
+        participation=scale.fleet_participation,
+        **_state_detail(scale, fleet, legacy_devices),
+    )
+
+
+def _bench_fedavg_e2e(scale: PerfScale) -> dict:
+    model = paper_mlp(scale.feature_dim, scale.num_classes, seed=0, hidden=(32, 16))
+    trainer = LocalTrainer(model, lr=0.1, batch_size=50, seed=2)
+    rounds = 2
+    after_srv, before_srv, fleet, legacy_devices, w0 = _fleet_round_pair(
+        scale, trainer, scale.e2e_participation, rounds, Environment.ideal
+    )
+
+    def run_after() -> None:
+        _reset_server(after_srv)
+        after_srv.fit(initial_weights=w0)
+
+    def run_before() -> None:
+        _reset_server(before_srv)
+        before_srv.fit(initial_weights=w0)
+
+    repeats = max(5, scale.repeats // 4)
+    after, before = _best_pair(run_after, run_before, repeats)
+    return _pair(
+        before / rounds,
+        after / rounds,
+        devices=scale.fleet_devices,
+        rounds=rounds,
+        participation=scale.e2e_participation,
+        **_state_detail(scale, fleet, legacy_devices),
+    )
+
+
 def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
     """Run every benchmark at ``scale_name``; returns the JSON-ready report."""
     scale = SCALES[scale_name]
@@ -261,6 +463,9 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "flatten_unflatten": _bench_flatten(scale),
         "aggregation": _bench_aggregation(scale),
         "fedhisyn_round": _bench_fedhisyn_round(scale),
+        "fleet_build": _bench_fleet_build(scale),
+        "fleet_round": _bench_fleet_round(scale),
+        "fedavg_round_e2e": _bench_fedavg_e2e(scale),
     }
     return {
         "schema": 1,

@@ -60,13 +60,28 @@ class FedATServer(FederatedServer):
         # cross-round tier state by this stable id — not by the index of a
         # per-round re-clustering — is what keeps ``_tier_models[m]`` the
         # history of one device population under partial participation.
+        # The assignment is computed from the population's unit-time
+        # *array* (no per-device objects) and kept both as a dense array
+        # (``tier_of[device_id]``, the fleet-scale lookup) and as the
+        # ``device_tier`` dict the original API exposed.
         num_tiers = getattr(self.config, "num_tiers", 5)
-        times = np.array([d.unit_time for d in self.devices])
-        classes = cluster_by_capacity(times, min(num_tiers, len(self.devices)))
-        self.device_tier: dict[int, int] = {}
+        n = len(self.devices)
+        if self.fleet is not None:
+            times = self._unit_times
+            ids = self.fleet.device_ids
+        else:
+            times = np.array([d.unit_time for d in self.devices])
+            ids = np.fromiter(
+                (d.device_id for d in self.devices), dtype=np.intp, count=n
+            )
+        classes = cluster_by_capacity(times, min(num_tiers, n))
+        tiers = np.empty(n, dtype=np.intp)
         for tier_idx, members in enumerate(classes):
-            for pos in members:
-                self.device_tier[self.devices[pos].device_id] = tier_idx
+            tiers[members] = tier_idx
+        self.tier_of = tiers  # position-aligned with the population arrays
+        self.device_tier: dict[int, int] = {
+            int(dev_id): int(t) for dev_id, t in zip(ids, tiers)
+        }
         self._tier_models: dict[int, np.ndarray] = {}
         self._tier_update_counts: dict[int, int] = {}
 
@@ -93,12 +108,25 @@ class FedATServer(FederatedServer):
     ) -> np.ndarray:
         cfg: FedATConfig = self.config  # type: ignore[assignment]
         duration = self.round_duration(participants)
+        # Register this round's weight rows up front so every tier-round
+        # result snapshots into recycled fleet storage, not into
+        # per-device allocations that outlive the round.
+        self.register_round(participants)
 
         # This round's participants grouped by their stable tier, in
-        # participant order; absent tiers simply run no tier-round.
+        # participant order; absent tiers simply run no tier-round.  With
+        # a fleet, ids equal positions, so the dense array resolves the
+        # whole participant list in one gather.
         members_by_tier: dict[int, list[Device]] = {}
-        for dev in participants:
-            members_by_tier.setdefault(self.device_tier[dev.device_id], []).append(dev)
+        if self.fleet is not None:
+            tiers = self.tier_of[self.ids_of(participants)].tolist()
+            for dev, tier in zip(participants, tiers):
+                members_by_tier.setdefault(tier, []).append(dev)
+        else:
+            for dev in participants:
+                members_by_tier.setdefault(
+                    self.device_tier[dev.device_id], []
+                ).append(dev)
 
         current = global_weights
         # Tier-round completion times over this reporting round: tier m
@@ -119,17 +147,18 @@ class FedATServer(FederatedServer):
                 continue  # every pull lost: the tier idles this slot
             stack = np.empty((len(receivers), self.trainer.dim))
             for i, dev in enumerate(receivers):
-                stack[i] = dev.run_unit(
+                dev.run_unit(
                     current,
                     cfg.local_epochs,
                     round_idx,
                     unit_counter[dev.device_id],
+                    out=stack[i],
                 )
                 unit_counter[dev.device_id] += 1
             arrived = self.collect(receivers, ensure_one=False)
             if not arrived:
                 continue  # every upload lost: no tier model this slot
-            counts = np.array([d.num_samples for d in receivers])
+            counts = self.counts_of(receivers)
             stack, counts = self.filter_arrived(arrived, stack, counts)
             self._tier_models[tier_idx] = sample_weighted_average(stack, counts)
             self._tier_update_counts[tier_idx] = (

@@ -35,11 +35,6 @@ class FedAvgConfig(ServerConfig):
 class FedAvgServer(FederatedServer):
     method = "fedavg"
 
-    def local_epochs_for(self, device: Device, duration: float) -> int:
-        """Maximum achievable epochs within the round (paper Section 6.1)."""
-        units = max(1, int(duration / device.unit_time + 1e-9))
-        return units * self.config.local_epochs
-
     def run_round(
         self,
         round_idx: int,
@@ -48,16 +43,15 @@ class FedAvgServer(FederatedServer):
     ) -> np.ndarray:
         duration = self.round_duration(participants)
         receivers = self.broadcast(participants)
-        stack = np.empty((len(receivers), self.trainer.dim))
-        for i, dev in enumerate(receivers):
-            stack[i] = dev.run_unit(
-                global_weights,
-                self.local_epochs_for(dev, duration),
-                round_idx,
-                0,
-            )
+        epochs = self.epochs_for(receivers, duration)
+        # In recycled-fleet mode these rows double as the devices' weight
+        # rows: each unit trains straight into fleet state, no per-device
+        # result copy, and the stack feeds aggregation as-is.
+        stack = self.round_rows(receivers)
+        self.train_round(stack=stack, receivers=receivers, epochs=epochs,
+                         round_idx=round_idx, global_weights=global_weights)
         arrived = self.collect(receivers)
         self.clock.advance_by(duration)
-        counts = np.array([d.num_samples for d in receivers])
+        counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)
         return sample_weighted_average(stack, counts)

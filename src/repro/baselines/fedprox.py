@@ -50,18 +50,13 @@ class FedProxServer(FedAvgServer):
         cfg: FedProxConfig = self.config  # type: ignore[assignment]
         duration = self.round_duration(participants)
         receivers = self.broadcast(participants)
-        stack = np.empty((len(receivers), self.trainer.dim))
-        for i, dev in enumerate(receivers):
-            stack[i] = dev.run_unit(
-                global_weights,
-                self.local_epochs_for(dev, duration),
-                round_idx,
-                0,
-                anchor=global_weights,
-                mu=cfg.mu,
-            )
+        epochs = self.epochs_for(receivers, duration)
+        stack = self.round_rows(receivers)
+        self.train_round(stack=stack, receivers=receivers, epochs=epochs,
+                         round_idx=round_idx, global_weights=global_weights,
+                         anchor=global_weights, mu=cfg.mu)
         arrived = self.collect(receivers)
         self.clock.advance_by(duration)
-        counts = np.array([d.num_samples for d in receivers])
+        counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)
         return sample_weighted_average(stack, counts)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
+from repro.device.fleet import FleetState
 from repro.utils.config import validate_positive
 
 __all__ = ["ScaffoldConfig", "ScaffoldServer"]
@@ -54,17 +55,15 @@ class ScaffoldServer(FederatedServer):
         super().__init__(*args, **kwargs)
         dim = self.trainer.dim
         self.server_variate = np.zeros(dim)
-        self.device_variates: dict[int, np.ndarray] = {
-            d.device_id: np.zeros(dim) for d in self.devices
-        }
+        # Control variates live in a fleet-owned lazy state pool keyed by
+        # stable device id: an idle device costs nothing (reads resolve to
+        # one shared zeros row), a deselected-then-reselected device finds
+        # its variate untouched, and the mapping interface keeps the old
+        # ``dict[int, ndarray]`` surface.
+        self.device_variates = FleetState(len(self.devices), dim)
         # Reusable buffer for the per-device corrected-gradient term c - c_i;
         # the trainer only reads it while training that device.
         self._correction = np.empty(dim)
-
-    def local_epochs_for(self, device: Device, duration: float) -> int:
-        """Like FedAvg: the maximum achievable epochs within the round."""
-        units = max(1, int(duration / device.unit_time + 1e-9))
-        return units * self.config.local_epochs
 
     def run_round(
         self,
@@ -81,26 +80,32 @@ class ScaffoldServer(FederatedServer):
 
         # Per-device updates are staged and only summed for the uploads
         # that reach the server; a device whose upload is lost still keeps
-        # its locally refreshed variate (it did the training).
+        # its locally refreshed variate (it did the training).  Trained
+        # models land in the round's fleet rows (`out=`), so device state
+        # costs no extra copies.
+        rows = self.round_rows(receivers)
+        live = self.rows_live  # trained rows already are device state
+        epochs = self.epochs_for(receivers, duration)
         model_deltas: list[np.ndarray] = []
         variate_deltas: list[np.ndarray] = []
-        for dev in receivers:
+        for i, dev in enumerate(receivers):
             c_i = self.device_variates[dev.device_id]
             correction = np.subtract(self.server_variate, c_i, out=self._correction)
-            epochs = self.local_epochs_for(dev, duration)
             y_i, steps = self.trainer.train(
                 global_weights,
                 dev.shard,
-                epochs,
+                int(epochs[i]),
                 stream_key=(dev.device_id, round_idx, 0),
                 correction=correction,
+                out=rows[i],
             )
-            dev.weights = y_i
+            if not live:
+                dev.weights = y_i
             # Option II variate refresh.
             c_plus = c_i - self.server_variate + (global_weights - y_i) / (steps * eta)
             model_deltas.append(y_i - global_weights)
             variate_deltas.append(c_plus - c_i)
-            self.device_variates[dev.device_id] = c_plus
+            self.device_variates.set(dev.device_id, c_plus)
 
         arrived = self.collect(receivers, model_units=2.0)
         self.clock.advance_by(duration)

@@ -66,6 +66,7 @@ class TAFedAvgServer(FederatedServer):
     ) -> np.ndarray:
         cfg: TAFedAvgConfig = self.config  # type: ignore[assignment]
         duration = self.round_duration(participants)
+        self.register_round(participants)
         by_id = {d.device_id: d for d in participants}
 
         # Round start: every participant pulls the current global model; a

@@ -41,13 +41,12 @@ class TFedAvgServer(FederatedServer):
     ) -> np.ndarray:
         duration = self.round_duration(participants)  # wait for the straggler
         receivers = self.broadcast(participants)
-        stack = np.empty((len(receivers), self.trainer.dim))
-        for i, dev in enumerate(receivers):
-            stack[i] = dev.run_unit(
-                global_weights, self.config.local_epochs, round_idx, 0
-            )
+        stack = self.round_rows(receivers)
+        epochs = np.full(len(receivers), self.config.local_epochs)
+        self.train_round(stack=stack, receivers=receivers, epochs=epochs,
+                         round_idx=round_idx, global_weights=global_weights)
         arrived = self.collect(receivers)
         self.clock.advance_by(duration)
-        counts = np.array([d.num_samples for d in receivers])
+        counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)
         return sample_weighted_average(stack, counts)

@@ -235,7 +235,11 @@ class Campaign:
 
     @staticmethod
     def _label(spec: ExperimentSpec) -> str:
-        return f"{spec.method}/{spec.dataset}/seed{spec.seed}"
+        # Device count (or the fleet profile that pinned it) matters at
+        # fleet scale: a grid over fleet_profile produces runs that differ
+        # in nothing else, so the progress line must tell them apart.
+        scale = spec.fleet_profile or f"n{spec.num_devices}"
+        return f"{spec.method}/{spec.dataset}/{scale}/seed{spec.seed}"
 
 
 class CampaignResult:

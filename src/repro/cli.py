@@ -45,7 +45,12 @@ from repro.env.registry import (
     available_environments,
     environment_entries,
 )
-from repro.experiments import METHODS, ExperimentSpec, run_experiment
+from repro.experiments import (
+    FLEET_PROFILES,
+    METHODS,
+    ExperimentSpec,
+    run_experiment,
+)
 
 __all__ = ["build_parser", "main", "spec_from_args"]
 
@@ -56,6 +61,11 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
     g.add_argument("--dataset", default="mnist_like", choices=sorted(DATASETS))
     g.add_argument("--samples", type=int, default=2000, help="dataset size")
     g.add_argument("--devices", type=int, default=20)
+    g.add_argument("--fleet-profile", default=None,
+                   choices=sorted(FLEET_PROFILES),
+                   help="fleet-scale preset supplying devices/samples/"
+                        "participation defaults (explicitly set flags "
+                        "win); see `repro list fleets`")
     g.add_argument("--partition", default="dirichlet",
                    choices=["iid", "dirichlet", "shard"])
     g.add_argument("--beta", type=float, default=0.3,
@@ -154,7 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_p = sub.add_parser("list", help="show registered components")
     list_p.add_argument("what", nargs="?", default="all",
                         choices=["methods", "datasets", "selections", "envs",
-                                 "all"])
+                                 "fleets", "all"])
 
     return p
 
@@ -195,6 +205,7 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         selection_fraction=args.selection_fraction,
         env=args.env,
         env_kwargs=env_kwargs,
+        fleet_profile=args.fleet_profile,
         seed=args.seed,
     )
 
@@ -393,6 +404,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
         lines = ["environments:"]
         for entry in environment_entries():
             lines.append(f"  {entry.name:<13} {entry.description}")
+        sections.append("\n".join(lines))
+    if args.what in ("fleets", "all"):
+        lines = ["fleet profiles:"]
+        for name, prof in sorted(FLEET_PROFILES.items(),
+                                 key=lambda kv: kv[1]["num_devices"]):
+            lines.append(
+                f"  {name:<8} devices={prof['num_devices']:<6} "
+                f"samples={prof['num_samples']:<7} "
+                f"participation={prof['participation']:.0%}"
+            )
         sections.append("\n".join(lines))
     print("\n\n".join(sections))
     return 0

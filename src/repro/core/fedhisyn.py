@@ -109,8 +109,8 @@ class FedHiSynServer(FederatedServer):
         global_weights: np.ndarray,
     ) -> np.ndarray:
         cfg: FedHiSynConfig = self.config  # type: ignore[assignment]
-        ids = [d.device_id for d in participants]
-        times = np.array([d.unit_time for d in participants])
+        ids = self.ids_of(participants)
+        times = self.unit_times_of(participants)
 
         # (1) capacity classes, fastest first (Alg 1 line 4).
         classes = cluster_by_capacity(
@@ -130,6 +130,9 @@ class FedHiSynServer(FederatedServer):
         # instead — a lost message is harmless to liveness (Eq. 7).
         receivers = self.broadcast(participants)
         start = self.start_views(participants, receivers, global_weights)
+        # Ring results snapshot into recycled fleet rows for the upload
+        # stack below (no-op for lossy envs / plain device lists).
+        self.register_round(participants)
 
         # (4) ring training for the round duration (lines 7-16).
         duration = self.round_duration(participants) * cfg.round_length_multiplier
@@ -139,7 +142,7 @@ class FedHiSynServer(FederatedServer):
         self.clock.advance_by(duration)
 
         # (5) synchronous upload + aggregation (line 17).
-        stack = np.stack([d.weights for d in participants])
+        stack = self.stack_weights(participants)
         arrived = self.collect(participants)
         if cfg.aggregation == "class_time":
             # Each participant's weight is its class's mean unit time;

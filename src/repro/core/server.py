@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.datasets.core import ClassificationDataset
 from repro.device.device import Device
+from repro.device.fleet import DeviceFleet
 from repro.env.environment import Environment
 from repro.nn.serialization import get_flat_params, set_flat_params
 from repro.simulation.clock import VirtualClock
@@ -75,23 +76,40 @@ class FederatedServer:
 
     def __init__(
         self,
-        devices: Sequence[Device],
+        devices: Sequence[Device] | DeviceFleet,
         test_set: ClassificationDataset,
         config: ServerConfig | None = None,
         logger: RunLogger | None = None,
         env: Environment | None = None,
     ) -> None:
-        if not devices:
+        if not len(devices):
             raise ValueError("need at least one device")
-        self.devices = list(devices)
         self.test_set = test_set
         self.config = config if config is not None else ServerConfig()
         self.logger = logger if logger is not None else NullLogger()
-        self.trainer = self.devices[0].trainer
-        for d in self.devices:
-            if d.trainer is not self.trainer:
-                raise ValueError("all devices must share one LocalTrainer")
         self.env = env if env is not None else Environment.ideal()
+        if isinstance(devices, DeviceFleet):
+            # Fleet mode: the population lives in struct-of-arrays storage;
+            # `self.devices` keeps the sequence protocol (facades are built
+            # lazily per participant, never for idle devices).
+            self.fleet = devices
+            self.devices: Sequence[Device] = devices
+            self.trainer = devices.trainer
+            self._unit_times = devices.unit_times
+            # With lossless channels nothing reads a device's weights
+            # across rounds, so fleet rows can be recycled per round —
+            # the O(dim x participants) peak-memory mode.
+            self.fleet.retain_history = self.env.network.drop_prob > 0.0
+        else:
+            self.fleet = None
+            self.devices = list(devices)
+            self.trainer = self.devices[0].trainer
+            for d in self.devices:
+                if d.trainer is not self.trainer:
+                    raise ValueError("all devices must share one LocalTrainer")
+            # Device ids of a hand-built list need not equal positions, so
+            # the id-indexed array fast paths are fleet-only.
+            self._unit_times = None
         self.meter = TransmissionMeter()
         self.clock = VirtualClock()
         self.history = MetricsHistory()
@@ -105,6 +123,12 @@ class FederatedServer:
         self.dropped_messages = 0
         self.unavailable_count = 0
         self._drop_rng: np.random.Generator | None = None
+        # Cache of the last selection: the participant list handed to
+        # run_round plus its aligned id array, so helpers that receive
+        # that same list back (the common lossless case) skip rebuilding
+        # ids from Python objects.
+        self._round_list: list[Device] | None = None
+        self._round_ids: np.ndarray | None = None
 
     # ---------------------------------------------------------------- hooks
 
@@ -144,8 +168,37 @@ class FederatedServer:
         participating in the training."  The sampled set is then filtered
         through the environment's availability model (offline devices were
         picked but never show up), still guaranteeing one participant.
+
+        With a fleet the whole selection runs as array ops over device
+        *ids* — mask, availability, transfer charging never touch a
+        Python object — and facades are materialized only for the final
+        participant set.  Both paths consume identical rng draws, so a
+        fleet-backed run is bit-for-bit the device-list run.
         """
         rng = self._seeds.generator(round_idx, 1)
+        if self.fleet is not None and self.selection_policy is None:
+            n = len(self.fleet)
+            p = self.config.participation
+            if p >= 1.0:
+                ids = self.fleet.device_ids
+            else:
+                mask = rng.random(n) < p
+                ids = np.flatnonzero(mask)
+                if not len(ids):
+                    ids = np.array([int(rng.integers(n))], dtype=np.intp)
+            if not self.env.availability.always_on:
+                online = self.env.available_ids(
+                    round_idx,
+                    ids,
+                    self._unit_times[ids],
+                    self._seeds.generator(round_idx, _AVAILABILITY_STREAM),
+                )
+                self.unavailable_count += len(ids) - len(online)
+                ids = online
+            chosen = list(map(self.fleet.device, ids.tolist()))
+            self._round_list = chosen
+            self._round_ids = np.asarray(ids, dtype=np.intp)
+            return chosen
         if self.selection_policy is not None:
             chosen = self.selection_policy.select(round_idx, self.devices, rng)
         else:
@@ -165,7 +218,142 @@ class FederatedServer:
             )
             self.unavailable_count += len(chosen) - len(online)
             chosen = online
+        self._round_list = chosen
+        self._round_ids = None
         return chosen
+
+    # ------------------------------------------------------- fleet helpers
+
+    def ids_of(self, devices: list[Device]) -> np.ndarray:
+        """Device-id array aligned with ``devices``.
+
+        Free when ``devices`` is the list :meth:`select_participants`
+        produced this round (the lossless-channel common case); otherwise
+        one pass over the objects.
+        """
+        if devices is self._round_list and self._round_ids is not None:
+            return self._round_ids
+        return np.fromiter(
+            (d.device_id for d in devices), dtype=np.intp, count=len(devices)
+        )
+
+    def unit_times_of(self, devices: list[Device]) -> np.ndarray:
+        """Per-device unit times aligned with ``devices``, vectorized."""
+        if self.fleet is not None:
+            return self._unit_times[self.ids_of(devices)]
+        return np.array([d.unit_time for d in devices], dtype=np.float64)
+
+    def counts_of(self, devices: list[Device]) -> np.ndarray:
+        """Per-device sample counts aligned with ``devices``."""
+        if self.fleet is not None:
+            return self.fleet.num_samples[self.ids_of(devices)]
+        return np.array([d.num_samples for d in devices])
+
+    def local_epochs_for(self, device: Device, duration: float) -> int:
+        """Maximum achievable epochs within the round (paper Section 6.1):
+        ``floor(duration / unit_time)`` units, at least one.  The
+        per-device hook; override to change the epoch budget policy."""
+        units = max(1, int(duration / device.unit_time + 1e-9))
+        return units * self.config.local_epochs
+
+    def epochs_for(self, devices: list[Device], duration: float) -> np.ndarray:
+        """Achievable local epochs per device within ``duration``.
+
+        The vectorized form of :meth:`local_epochs_for`; a subclass that
+        overrides the per-device hook is honored (the loop form runs), so
+        the two can never disagree.
+        """
+        if type(self).local_epochs_for is not FederatedServer.local_epochs_for:
+            return np.array(
+                [self.local_epochs_for(d, duration) for d in devices]
+            )
+        times = self.unit_times_of(devices)
+        units = np.maximum(1, (duration / times + 1e-9).astype(np.intp))
+        return units * self.config.local_epochs
+
+    def round_rows(self, devices: list[Device]) -> np.ndarray:
+        """``(len(devices), dim)`` training stack for this round.
+
+        In recycled-fleet mode (lossless channels) the rows *are* the
+        devices' weight rows — training with ``run_unit(..., out=row)``
+        lands results directly in fleet state with zero extra copies, and
+        the arena is reused every round.  Otherwise a plain scratch
+        matrix: ``run_unit`` snapshots results into per-device rows via
+        the ``weights`` setter, preserving drop-fallback history.
+        """
+        if self.fleet is not None and not self.fleet.retain_history:
+            return self.fleet.round_matrix(self.ids_of(devices))
+        return np.empty((len(devices), self.trainer.dim))
+
+    @property
+    def rows_live(self) -> bool:
+        """True when :meth:`round_rows` hands out *registered* fleet rows:
+        training into them updates device state directly, so callers skip
+        the per-device ``weights`` sync entirely."""
+        return self.fleet is not None and not self.fleet.retain_history
+
+    def register_round(self, devices: list[Device]) -> None:
+        """Pin this round's devices to recycled fleet rows.
+
+        For methods whose training results are staged elsewhere (FedAT
+        tier stacks, the ring engine, async mixing): every ``weights``
+        assignment during the round then snapshots into the reused arena
+        instead of materializing per-device rows that outlive the round.
+        No-op without a fleet or when history must be retained.
+        """
+        if self.fleet is not None and not self.fleet.retain_history:
+            self.fleet.round_matrix(self.ids_of(devices))
+
+    def stack_weights(self, devices: list[Device]) -> np.ndarray:
+        """Stacked current weights of ``devices`` (aggregation input)."""
+        if self.fleet is not None:
+            return self.fleet.stack_weights(self.ids_of(devices))
+        return np.stack([d.weights for d in devices])
+
+    def train_round(
+        self,
+        receivers: list[Device],
+        stack: np.ndarray,
+        epochs: np.ndarray,
+        round_idx: int,
+        global_weights: np.ndarray,
+        anchor: np.ndarray | None = None,
+        mu: float = 0.0,
+    ) -> None:
+        """One training unit per receiver, results into ``stack`` rows.
+
+        The FedAvg-family inner loop.  With live fleet rows the loop runs
+        straight against the trainer — shard slices and stream keys come
+        from fleet arrays, no facade attribute chasing, and the trained
+        vector lands in the device's registered row — which is where the
+        per-object path spent its per-device time.  Otherwise the
+        classic ``run_unit`` choreography keeps every Device contract
+        intact (including the ``weights`` snapshot for drop-fallback).
+        """
+        if self.rows_live:
+            train = self.trainer.train
+            shard = self.fleet.shard
+            for i, dev_id in enumerate(self.ids_of(receivers).tolist()):
+                train(
+                    global_weights,
+                    shard(dev_id),
+                    int(epochs[i]),
+                    stream_key=(dev_id, round_idx, 0),
+                    anchor=anchor,
+                    mu=mu,
+                    out=stack[i],
+                )
+            return
+        for i, dev in enumerate(receivers):
+            dev.run_unit(
+                global_weights,
+                int(epochs[i]),
+                round_idx,
+                0,
+                anchor=anchor,
+                mu=mu,
+                out=stack[i],
+            )
 
     # -------------------------------------------------------- channel API
 
@@ -265,7 +453,12 @@ class FederatedServer:
         transfer time; under ``ideal`` the transfer term is exactly zero
         and the clock is untouched.
         """
-        t = self.env.server_transfer_time(devices, model_units)
+        if self.fleet is not None:
+            t = self.env.server_transfer_time_ids(
+                self.ids_of(devices), model_units
+            )
+        else:
+            t = self.env.server_transfer_time(devices, model_units)
         if t > 0.0:
             self.clock.advance_by(t)
 
@@ -290,6 +483,8 @@ class FederatedServer:
 
     def round_duration(self, participants: list[Device]) -> float:
         """Paper convention: the slowest participant's unit time."""
+        if self.fleet is not None:
+            return float(self.unit_times_of(participants).max())
         return max(d.unit_time for d in participants)
 
     def evaluate(self, weights: np.ndarray) -> tuple[float, float]:

@@ -13,6 +13,7 @@ settings map directly:
 """
 
 from repro.device.device import Device, LocalTrainer, make_devices
+from repro.device.fleet import DeviceFleet, FleetDevice, FleetState, make_fleet
 from repro.device.heterogeneity import (
     heterogeneity_ratio,
     sample_unit_counts,
@@ -23,8 +24,12 @@ from repro.device.network import LinkDelayModel, UniformDelay
 
 __all__ = [
     "Device",
+    "DeviceFleet",
+    "FleetDevice",
+    "FleetState",
     "LocalTrainer",
     "make_devices",
+    "make_fleet",
     "sample_unit_counts",
     "unit_times_from_counts",
     "unit_times_from_ratio",

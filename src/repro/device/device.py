@@ -9,8 +9,6 @@ models (guide: be easy on the memory).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.datasets.core import ClassificationDataset
@@ -58,10 +56,15 @@ class LocalTrainer:
         self.momentum = momentum
         self._seeds = SeedSequenceFactory(seed)
         self.dim = num_params(model)
-        # Reusable d-vector for the fused update math (one per trainer; the
-        # simulation is single-threaded so one scratch buffer serves every
-        # device that shares this trainer).
+        # Reusable d-vectors for the fused update math (one set per trainer;
+        # the simulation is single-threaded so one scratch buffer serves
+        # every device that shares this trainer).  The momentum velocity is
+        # preallocated once and zero-filled per train() call instead of
+        # reallocated, matching the ``_scratch`` pattern.
         self._scratch = np.empty(self.dim, dtype=np.float64)
+        self._velocity = (
+            np.empty(self.dim, dtype=np.float64) if self.momentum > 0 else None
+        )
 
     def train(
         self,
@@ -73,12 +76,16 @@ class LocalTrainer:
         mu: float = 0.0,
         correction: np.ndarray | None = None,
         lr: float | None = None,
+        out: np.ndarray | None = None,
     ) -> tuple[np.ndarray, int]:
         """Train ``epochs`` passes starting from ``weights``.
 
         Returns ``(new_weights, num_sgd_steps)``.  ``stream_key`` selects
         the batch-shuffling stream so results are reproducible regardless
-        of device scheduling order.
+        of device scheduling order.  ``out``, when given, receives the
+        trained vector in place (and is returned) so callers that own a
+        destination row — the fleet round matrix — skip the fresh
+        allocation.
 
         The per-batch update runs as whole-vector ops on the model's flat
         ``theta`` / ``grad`` buffers: SGD step, heavy-ball momentum, the
@@ -97,7 +104,11 @@ class LocalTrainer:
         grad = model.grad
         scratch = self._scratch
         rng = self._seeds.generator(*stream_key)
-        velocity = np.zeros(self.dim) if self.momentum > 0 else None
+        # A training unit is a fresh optimization leg, so the (reused)
+        # velocity buffer starts from rest every call.
+        velocity = self._velocity
+        if velocity is not None:
+            velocity.fill(0.0)
         prox = anchor is not None and mu > 0.0
         steps = 0
         n = len(shard)
@@ -126,7 +137,10 @@ class LocalTrainer:
                     np.multiply(velocity, eta, out=scratch)
                 theta -= scratch
                 steps += 1
-        return theta.copy(), steps
+        if out is None:
+            return theta.copy(), steps
+        np.copyto(out, theta)
+        return out, steps
 
     def gradient(
         self,
@@ -144,40 +158,77 @@ class LocalTrainer:
         return model.grad.copy()
 
 
-@dataclass
 class Device:
     """One federated participant.
 
     ``buffer`` realizes Algorithm 1's per-device stack B_i: the *back*
     (last element) is the model the device trains next; ring predecessors
     push onto it via :meth:`receive`.
+
+    **Weight-ownership rule.**  Arrays handed to :meth:`reset_buffer` and
+    :meth:`receive` are *borrowed, read-only*: the device aliases them
+    (no copy) and never mutates a buffered array in place — training
+    copies the start model into the shared trainer first.  The flip side
+    of the zero-copy alias is that the caller must not mutate an array
+    after handing it over; the server upholds this by always *replacing*
+    ``global_weights`` with a freshly produced vector rather than updating
+    it in place.  Vectors a device produces (:meth:`run_unit`) are owned
+    by the device (a fresh array, or its fleet row for
+    :class:`~repro.device.fleet.FleetDevice`) and stay valid until its
+    next training unit overwrites them.
     """
 
-    device_id: int
-    shard: ClassificationDataset
-    unit_time: float
-    trainer: LocalTrainer
-    weights: np.ndarray | None = None
-    buffer: list[np.ndarray] = field(default_factory=list)
+    def __init__(
+        self,
+        device_id: int,
+        shard: ClassificationDataset,
+        unit_time: float,
+        trainer: LocalTrainer,
+        weights: np.ndarray | None = None,
+        buffer: list[np.ndarray] | None = None,
+    ) -> None:
+        if unit_time <= 0:
+            raise ValueError(f"unit_time must be positive, got {unit_time}")
+        if len(shard) == 0:
+            raise ValueError(f"device {device_id} has an empty shard")
+        self.device_id = device_id
+        self.shard = shard
+        self.unit_time = unit_time
+        self.trainer = trainer
+        self.buffer: list[np.ndarray] = [] if buffer is None else buffer
+        self._weights = weights
 
-    def __post_init__(self) -> None:
-        if self.unit_time <= 0:
-            raise ValueError(f"unit_time must be positive, got {self.unit_time}")
-        if len(self.shard) == 0:
-            raise ValueError(f"device {self.device_id} has an empty shard")
+    @property
+    def weights(self) -> np.ndarray | None:
+        """The device's current model (None until it first trains/resets).
+
+        A plain attribute here; :class:`~repro.device.fleet.FleetDevice`
+        overrides the pair so reads are zero-copy views into the fleet's
+        weights matrix and writes land in the device's fleet row.
+        """
+        return self._weights
+
+    @weights.setter
+    def weights(self, value: np.ndarray | None) -> None:
+        self._weights = value
 
     @property
     def num_samples(self) -> int:
         return len(self.shard)
 
     def reset_buffer(self, weights: np.ndarray) -> None:
-        """Algorithm 1 lines 8-9: clear B_i and push the round-start model."""
+        """Algorithm 1 lines 8-9: clear B_i and push the round-start model.
+
+        ``weights`` is borrowed (aliased, never mutated) — see the class
+        docstring's ownership rule.
+        """
         self.buffer.clear()
         self.buffer.append(weights)
         self.weights = weights
 
     def receive(self, weights: np.ndarray) -> None:
-        """Ring predecessor (or server) hands over a model."""
+        """Ring predecessor (or server) hands over a model (borrowed —
+        the sender must not mutate it afterwards)."""
         self.buffer.append(weights)
 
     def run_unit(
@@ -190,12 +241,19 @@ class Device:
         mu: float = 0.0,
         correction: np.ndarray | None = None,
         lr: float | None = None,
+        out: np.ndarray | None = None,
+        sync: bool = True,
     ) -> np.ndarray:
         """One local-training unit from explicit start weights.
 
         Pure compute: buffer choreography (what to train next, what arrived
         mid-unit) is owned by the simulation engine.  Sets ``self.weights``
-        to the result and returns it.
+        to the result and returns it.  ``out`` (a caller-owned row, e.g.
+        the fleet round matrix) receives the result without a fresh
+        allocation.  ``sync=False`` skips the ``self.weights`` assignment —
+        for callers that trained straight into the device's *registered*
+        fleet row (``FederatedServer.rows_live``), where the assignment
+        would be a redundant self-copy check per device.
         """
         new_weights, _ = self.trainer.train(
             start_weights,
@@ -206,8 +264,10 @@ class Device:
             mu=mu,
             correction=correction,
             lr=lr,
+            out=out,
         )
-        self.weights = new_weights
+        if sync:
+            self.weights = new_weights
         return new_weights
 
     def train_unit(

@@ -43,6 +43,40 @@ class AvailabilityModel:
         """Boolean mask, True where ``devices[i]`` is online in ``round_idx``."""
         raise NotImplementedError
 
+    def available_mask_ids(
+        self,
+        round_idx: int,
+        device_ids: np.ndarray,
+        unit_times: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Array-based twin of :meth:`available_mask` for fleet servers.
+
+        Consumes the population *arrays* (``device_ids`` and the aligned
+        ``unit_times``) instead of device objects, so fleet-scale rounds
+        never materialize facades just to ask who is online.  Every
+        bundled model implements it with **identical rng draws** to the
+        object path — the two are interchangeable bit-for-bit.  The
+        default falls back to :meth:`available_mask` with lightweight
+        stand-ins for third-party models that only know the object
+        protocol.
+        """
+        stand_ins = [
+            _DeviceStandIn(int(i), float(t))
+            for i, t in zip(device_ids, unit_times)
+        ]
+        return self.available_mask(round_idx, stand_ins, rng)
+
+
+class _DeviceStandIn:
+    """The two attributes availability models may read, without a Device."""
+
+    __slots__ = ("device_id", "unit_time")
+
+    def __init__(self, device_id: int, unit_time: float) -> None:
+        self.device_id = device_id
+        self.unit_time = unit_time
+
 
 class AlwaysOn(AvailabilityModel):
     """Paper semantics: every device is online every round."""
@@ -51,6 +85,9 @@ class AlwaysOn(AvailabilityModel):
 
     def available_mask(self, round_idx, devices, rng):
         return np.ones(len(devices), dtype=bool)
+
+    def available_mask_ids(self, round_idx, device_ids, unit_times, rng):
+        return np.ones(len(device_ids), dtype=bool)
 
 
 class BernoulliAvailability(AvailabilityModel):
@@ -64,6 +101,11 @@ class BernoulliAvailability(AvailabilityModel):
         if self.up_prob >= 1.0:
             return np.ones(len(devices), dtype=bool)
         return rng.random(len(devices)) < self.up_prob
+
+    def available_mask_ids(self, round_idx, device_ids, unit_times, rng):
+        if self.up_prob >= 1.0:
+            return np.ones(len(device_ids), dtype=bool)
+        return rng.random(len(device_ids)) < self.up_prob
 
 
 class TraceAvailability(AvailabilityModel):
@@ -105,6 +147,15 @@ class TraceAvailability(AvailabilityModel):
                 mask[i] = trace[(round_idx - 1) % len(trace)]
         return mask
 
+    def available_mask_ids(self, round_idx, device_ids, unit_times, rng):
+        traces = self.traces
+        mask = np.full(len(device_ids), self.default, dtype=bool)
+        for i, dev_id in enumerate(device_ids):
+            trace = traces.get(int(dev_id))
+            if trace is not None:
+                mask[i] = trace[(round_idx - 1) % len(trace)]
+        return mask
+
 
 class CapacityCorrelatedAvailability(AvailabilityModel):
     """Slow devices drop out more: the mobile-fleet failure mode.
@@ -123,7 +174,14 @@ class CapacityCorrelatedAvailability(AvailabilityModel):
 
     def available_mask(self, round_idx, devices, rng):
         times = np.array([d.unit_time for d in devices], dtype=np.float64)
+        return self._mask_from_times(times, rng)
+
+    def available_mask_ids(self, round_idx, device_ids, unit_times, rng):
+        times = np.asarray(unit_times, dtype=np.float64)
+        return self._mask_from_times(times, rng)
+
+    def _mask_from_times(self, times: np.ndarray, rng) -> np.ndarray:
         lo, hi = times.min(), times.max()
         norm = np.zeros_like(times) if hi == lo else (times - lo) / (hi - lo)
         probs = np.clip(self.up_prob - self.slow_penalty * norm, 0.05, 1.0)
-        return rng.random(len(devices)) < probs
+        return rng.random(len(times)) < probs

@@ -92,6 +92,30 @@ class Environment:
             online = [devices[int(rng.integers(len(devices)))]]
         return online
 
+    def available_ids(
+        self,
+        round_idx: int,
+        device_ids: np.ndarray,
+        unit_times: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Array twin of :meth:`available`: online subset of an id array.
+
+        ``unit_times`` is aligned with ``device_ids`` (what capacity-aware
+        models read).  Draws the same rng stream as the object path, so a
+        fleet server and a device-list server see identical churn.
+        """
+        device_ids = np.asarray(device_ids, dtype=np.intp)
+        if not len(device_ids) or self.availability.always_on:
+            return device_ids
+        mask = self.availability.available_mask_ids(
+            round_idx, device_ids, unit_times, rng
+        )
+        online = device_ids[mask]
+        if not len(online):
+            online = device_ids[[int(rng.integers(len(device_ids)))]]
+        return online
+
     def server_transfer_time(
         self, devices: Sequence, model_units: float = 1.0
     ) -> float:
@@ -106,6 +130,15 @@ class Environment:
         return max(
             net.transfer_time(SERVER, d.device_id, model_units) for d in devices
         )
+
+    def server_transfer_time_ids(
+        self, device_ids: np.ndarray, model_units: float = 1.0
+    ) -> float:
+        """Slowest server-link transfer over an id array, vectorized."""
+        net = self.network
+        if net.is_instant or not len(device_ids):
+            return 0.0
+        return float(net.server_transfer_times(device_ids, model_units).max())
 
     def describe(self) -> str:
         """One-line summary for ``repro list envs``."""

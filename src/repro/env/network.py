@@ -76,6 +76,25 @@ class NetworkModel(LinkDelayModel):
             return lat
         return lat + model_units / bw
 
+    def server_transfer_times(
+        self, device_ids: np.ndarray, model_units: float = 1.0
+    ) -> np.ndarray:
+        """Per-device server-link transfer times as one vectorized read.
+
+        The fleet server charges the slowest link of a broadcast/collect;
+        a Python ``transfer_time`` call per device would make that O(n)
+        interpreted work every channel call.  Subclasses with per-device
+        structure (:class:`SampledNetwork`) override this with array math;
+        the generic fallback loops.
+        """
+        return np.array(
+            [
+                self.transfer_time(SERVER, int(d), model_units)
+                for d in device_ids
+            ],
+            dtype=np.float64,
+        )
+
     # ------------------------------------------- LinkDelayModel protocol
 
     def delay(self, src: int, dst: int) -> float:
@@ -145,6 +164,14 @@ class UniformNetwork(NetworkModel):
         )
         return np.full(len(dsts), time_per_hop)
 
+    def server_transfer_times(
+        self, device_ids: np.ndarray, model_units: float = 1.0
+    ) -> np.ndarray:
+        t = self._latency + (
+            0.0 if self._bandwidth == math.inf else model_units / self._bandwidth
+        )
+        return np.full(len(device_ids), t)
+
 
 class SampledNetwork(UniformNetwork):
     """Per-device link quality sampled deterministically from the device id.
@@ -175,6 +202,11 @@ class SampledNetwork(UniformNetwork):
         self.bandwidth_spread = float(bandwidth_spread)
         self.seed = int(seed)
         self._factors: dict[int, tuple[float, float]] = {SERVER: (1.0, 1.0)}
+        # Dense factor cache for the vectorized fleet path: row i holds
+        # device i's (latency multiplier, bandwidth divisor); NaN = not
+        # yet drawn.  Grown on demand, filled once per device, then every
+        # server_transfer_times call is pure array indexing.
+        self._factor_table = np.full((0, 2), np.nan)
 
     def _device_factors(self, endpoint: int) -> tuple[float, float]:
         """(latency multiplier, bandwidth divisor) for one endpoint, cached."""
@@ -236,6 +268,44 @@ class SampledNetwork(UniformNetwork):
         if self.bandwidth_spread == 0.0:
             return lat + 1.0 / bw_base
         return lat + 0.5 * (bw_div_src + bw_divs) / bw_base
+
+    def _factor_columns(self, device_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(latency multipliers, bandwidth divisors) for an id array."""
+        device_ids = np.asarray(device_ids, dtype=np.intp)
+        table = self._factor_table
+        top = int(device_ids.max()) + 1 if len(device_ids) else 0
+        if top > table.shape[0]:
+            grown = np.full((top, 2), np.nan)
+            grown[: table.shape[0]] = table
+            self._factor_table = table = grown
+        rows = device_ids[np.isnan(table[device_ids, 0])]
+        for d in rows:
+            table[d] = self._device_factors(int(d))
+        return table[device_ids, 0], table[device_ids, 1]
+
+    def server_transfer_times(
+        self, device_ids: np.ndarray, model_units: float = 1.0
+    ) -> np.ndarray:
+        # Mirrors transfer_time(SERVER, d) element for element (same op
+        # order, so the slowest-link max is bitwise equal to the loop).
+        n = len(device_ids)
+        lat_base = self._latency
+        bw_base = self._bandwidth
+        need_lat = lat_base != 0.0 and self.latency_spread != 0.0
+        need_bw = bw_base != math.inf and self.bandwidth_spread != 0.0
+        if need_lat or need_bw:
+            lat_mults, bw_divs = self._factor_columns(device_ids)
+        if need_lat:
+            lat = lat_base * 0.5 * (1.0 + lat_mults)
+        else:
+            lat = np.full(n, lat_base)
+        if bw_base == math.inf:
+            return lat
+        if need_bw:
+            bw = bw_base / (0.5 * (1.0 + bw_divs))
+        else:
+            bw = np.full(n, bw_base)
+        return lat + model_units / bw
 
 
 class IdealNetwork(UniformNetwork):

@@ -26,7 +26,7 @@ from repro.core.server import FederatedServer
 from repro.datasets import make_dataset, partition_by_name, train_test_split
 from repro.datasets.core import ClassificationDataset
 from repro.datasets.registry import DATASETS
-from repro.device import LocalTrainer, make_devices, unit_times_from_counts, unit_times_from_ratio
+from repro.device import LocalTrainer, make_fleet, unit_times_from_counts, unit_times_from_ratio
 from repro.device.heterogeneity import sample_unit_counts
 from repro.env.registry import make_environment
 from repro.nn.layers import Flatten
@@ -34,7 +34,14 @@ from repro.nn.models import Sequential, paper_cnn, paper_mlp
 from repro.utils.config import validate_fraction, validate_positive
 from repro.utils.logging import RunLogger
 
-__all__ = ["ExperimentSpec", "build_model", "build_experiment", "run_experiment", "METHODS"]
+__all__ = [
+    "ExperimentSpec",
+    "FLEET_PROFILES",
+    "build_model",
+    "build_experiment",
+    "run_experiment",
+    "METHODS",
+]
 
 #: Live views over :mod:`repro.core.registry` — ``"fedavg" in METHODS``,
 #: ``sorted(METHODS)`` and ``METHODS[name]`` behave exactly like the old
@@ -51,6 +58,20 @@ _PARTITIONS = ("iid", "dirichlet", "shard")
 MODEL_PRESETS: dict[str, dict[str, Any]] = {
     "paper": {"mlp_hidden": (200, 100), "cnn_channels": 64, "cnn_fc": (394, 192)},
     "small": {"mlp_hidden": (48, 24), "cnn_channels": 8, "cnn_fc": (48, 24)},
+}
+
+#: Fleet-scale presets: one name pins the population shape (device count,
+#: dataset size, realistic participation for that scale).  A profile is a
+#: *sweep axis* like any other spec field — ``--grid
+#: fleet_profile=bench,city`` compares the same method at lab scale and at
+#: city scale.  The struct-of-arrays device layer keeps per-round cost
+#: O(participants), so even "metro" stays a laptop-sized run.
+FLEET_PROFILES: dict[str, dict[str, Any]] = {
+    "bench": {"num_devices": 20, "num_samples": 2000, "participation": 1.0},
+    "lab": {"num_devices": 100, "num_samples": 10_000, "participation": 1.0},
+    "campus": {"num_devices": 1_000, "num_samples": 20_000, "participation": 0.5},
+    "city": {"num_devices": 5_000, "num_samples": 50_000, "participation": 0.1},
+    "metro": {"num_devices": 20_000, "num_samples": 100_000, "participation": 0.02},
 }
 
 
@@ -94,9 +115,29 @@ class ExperimentSpec:
     # "ideal" reproduces the paper's semantics bit-for-bit.
     env: str = "ideal"
     env_kwargs: dict[str, Any] = field(default_factory=dict)
+    # Fleet-scale preset (FLEET_PROFILES): supplies defaults for the
+    # fields it defines (num_devices/num_samples/participation).  A field
+    # the caller moved off its dataclass default keeps the explicit value
+    # — so a grid over e.g. participation still varies under a profile,
+    # and re-validation (campaign `replace`, JSON round-trips) never
+    # claws a swept value back to the preset.
+    fleet_profile: str | None = None
     method_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.fleet_profile is not None:
+            profile = FLEET_PROFILES.get(self.fleet_profile)
+            if profile is None:
+                raise ValueError(
+                    f"fleet_profile must be one of {sorted(FLEET_PROFILES)}, "
+                    f"got {self.fleet_profile!r}"
+                )
+            defaults = {
+                f.name: f.default for f in fields(self) if f.name in profile
+            }
+            for key, value in profile.items():
+                if getattr(self, key) == defaults[key]:
+                    setattr(self, key, value)
         validate_positive(self.num_samples, "num_samples")
         validate_positive(self.num_devices, "num_devices")
         validate_positive(self.rounds, "rounds")
@@ -239,7 +280,10 @@ def build_experiment(
     trainer = LocalTrainer(
         model, lr=spec.lr, batch_size=spec.batch_size, seed=spec.seed + 5
     )
-    devices = make_devices(train_set, parts, unit_times, trainer)
+    # Struct-of-arrays population: one gathered data block, per-device
+    # zero-copy shard slices, lazily materialized weight rows — O(active)
+    # memory at any fleet size (see repro.device.fleet).
+    devices = make_fleet(train_set, parts, unit_times, trainer)
 
     config = entry.config_cls(
         rounds=spec.rounds,

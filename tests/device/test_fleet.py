@@ -1,0 +1,275 @@
+"""Tests for repro.device.fleet: DeviceFleet, FleetDevice, FleetState."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.core import ClassificationDataset
+from repro.datasets.partition import dirichlet_partition
+from repro.device import (
+    DeviceFleet,
+    FleetDevice,
+    FleetState,
+    make_devices,
+    make_fleet,
+    unit_times_from_counts,
+)
+from repro.nn.serialization import get_flat_params
+
+
+def _parts(train_set):
+    return dirichlet_partition(train_set, 8, beta=0.5, seed=5, min_samples=2)
+
+
+class TestConstruction:
+    def test_shards_match_per_object_subsets(self, tiny_split, tiny_trainer):
+        """One gathered block slices into exactly the per-device copies."""
+        train_set, _ = tiny_split
+        parts = _parts(train_set)
+        times = unit_times_from_counts(np.array([1, 2, 4, 1, 2, 4, 1, 2]))
+        fleet = make_fleet(train_set, parts, times, tiny_trainer)
+        devices = make_devices(train_set, parts, times, tiny_trainer)
+        for dev in devices:
+            shard = fleet.shard(dev.device_id)
+            np.testing.assert_array_equal(shard.x, dev.shard.x)
+            np.testing.assert_array_equal(shard.y, dev.shard.y)
+            assert shard.name == dev.shard.name
+        np.testing.assert_array_equal(
+            fleet.num_samples, [d.num_samples for d in devices]
+        )
+        np.testing.assert_array_equal(
+            fleet.unit_times, [d.unit_time for d in devices]
+        )
+
+    def test_shards_are_views_and_cached(self, tiny_fleet):
+        shard = tiny_fleet.shard(3)
+        assert shard.x.base is tiny_fleet.x
+        assert tiny_fleet.shard(3) is shard
+        assert tiny_fleet.device(3).shard is shard
+
+    def test_length_mismatch_raises(self, tiny_split, tiny_trainer):
+        train_set, _ = tiny_split
+        with pytest.raises(ValueError, match="disagree"):
+            make_fleet(train_set, _parts(train_set), np.ones(3), tiny_trainer)
+
+    def test_empty_shard_raises(self, tiny_split, tiny_trainer):
+        train_set, _ = tiny_split
+        parts = [np.arange(4), np.empty(0, dtype=np.intp)]
+        with pytest.raises(ValueError, match="empty shard"):
+            make_fleet(train_set, parts, np.ones(2), tiny_trainer)
+
+    def test_nonpositive_unit_time_raises(self, tiny_split, tiny_trainer):
+        train_set, _ = tiny_split
+        parts = [np.arange(4), np.arange(4, 8)]
+        with pytest.raises(ValueError, match="unit_time"):
+            make_fleet(train_set, parts, np.array([1.0, 0.0]), tiny_trainer)
+
+
+class TestLazyMaterialization:
+    def test_idle_devices_cost_nothing(self, tiny_fleet):
+        assert tiny_fleet.materialized_rows == 0
+        assert tiny_fleet.state_nbytes == 0
+        assert all(f is None for f in tiny_fleet._facades)
+        assert tiny_fleet.weights_row(0) is None
+        assert tiny_fleet.device(0).weights is None
+
+    def test_facades_cached_and_lazy(self, tiny_fleet):
+        dev = tiny_fleet.device(2)
+        assert isinstance(dev, FleetDevice)
+        assert tiny_fleet.device(2) is dev
+        assert tiny_fleet[2] is dev
+        built = sum(1 for f in tiny_fleet._facades if f is not None)
+        assert built == 1
+
+    def test_set_weights_materializes_one_row(self, tiny_fleet):
+        dim = tiny_fleet.dim
+        tiny_fleet.set_weights(5, np.arange(dim, dtype=np.float64))
+        assert tiny_fleet.materialized_rows == 1
+        np.testing.assert_array_equal(tiny_fleet.weights_row(5), np.arange(dim))
+        assert tiny_fleet.state_nbytes == dim * 8
+
+
+class TestFacadeContract:
+    def test_run_unit_matches_standalone_device(self, tiny_split, tiny_trainer):
+        """The facade trains bit-for-bit like the per-object Device."""
+        train_set, _ = tiny_split
+        parts = _parts(train_set)
+        times = unit_times_from_counts(np.array([1, 2, 4, 1, 2, 4, 1, 2]))
+        fleet = make_fleet(train_set, parts, times, tiny_trainer)
+        devices = make_devices(train_set, parts, times, tiny_trainer)
+        w0 = get_flat_params(tiny_trainer.model)
+        out_fleet = fleet.device(3).run_unit(w0, epochs=2, round_idx=1, unit_idx=0)
+        out_obj = devices[3].run_unit(w0, epochs=2, round_idx=1, unit_idx=0)
+        np.testing.assert_array_equal(out_fleet, out_obj)
+        np.testing.assert_array_equal(fleet.device(3).weights, out_obj)
+
+    def test_run_unit_out_row_skips_sync_copy(self, tiny_fleet, tiny_trainer):
+        w0 = get_flat_params(tiny_trainer.model)
+        tiny_fleet.retain_history = False
+        rows = tiny_fleet.round_matrix([3])
+        out = tiny_fleet.device(3).run_unit(
+            w0, epochs=1, round_idx=0, unit_idx=0, out=rows[0], sync=False
+        )
+        assert np.shares_memory(out, rows)
+        np.testing.assert_array_equal(tiny_fleet.device(3).weights, out)
+
+    def test_buffer_choreography(self, tiny_fleet, tiny_trainer):
+        dev = tiny_fleet.device(1)
+        w0 = get_flat_params(tiny_trainer.model)
+        dev.receive(np.ones(tiny_fleet.dim))
+        dev.reset_buffer(w0)
+        assert len(dev.buffer) == 1
+        out = dev.train_unit(1, round_idx=0, unit_idx=0)
+        np.testing.assert_array_equal(dev.buffer[0], out)
+
+
+class TestMutationSafety:
+    """Satellite regression: the weight-ownership rule (Device docstring).
+
+    A fleet device snapshots every ``weights`` assignment, so mutating the
+    server's array after ``reset_buffer`` can never corrupt device state —
+    the hazard the per-object path documents as a borrow contract.
+    """
+
+    def test_fleet_weights_survive_caller_mutation(self, tiny_fleet):
+        dim = tiny_fleet.dim
+        global_weights = np.ones(dim)
+        dev = tiny_fleet.device(0)
+        dev.reset_buffer(global_weights)
+        global_weights *= 1e9  # server misbehaves after handing over
+        np.testing.assert_array_equal(dev.weights, np.ones(dim))
+
+    def test_standalone_device_borrows(self, tiny_split, tiny_trainer):
+        """The per-object Device aliases (documented borrow, no copy)."""
+        train_set, _ = tiny_split
+        devices = make_devices(
+            train_set, _parts(train_set),
+            np.ones(8), tiny_trainer,
+        )
+        w = np.ones(tiny_trainer.dim)
+        devices[0].reset_buffer(w)
+        assert devices[0].weights is w
+
+    def test_buffered_array_is_never_mutated(self, tiny_fleet, tiny_trainer):
+        """Training must not write into a borrowed buffer entry."""
+        w0 = get_flat_params(tiny_trainer.model)
+        keep = w0.copy()
+        dev = tiny_fleet.device(2)
+        dev.reset_buffer(w0)
+        dev.train_unit(1, round_idx=0, unit_idx=0)
+        np.testing.assert_array_equal(w0, keep)
+
+
+class TestRoundMatrix:
+    def test_requires_recycle_mode(self, tiny_fleet):
+        assert tiny_fleet.retain_history  # safe default
+        with pytest.raises(RuntimeError, match="retain_history"):
+            tiny_fleet.round_matrix([0, 1])
+
+    def test_rows_are_registered_views(self, tiny_fleet):
+        tiny_fleet.retain_history = False
+        rows = tiny_fleet.round_matrix([4, 1])
+        rows[0] = 7.0
+        rows[1] = 9.0
+        np.testing.assert_array_equal(tiny_fleet.weights_row(4), rows[0])
+        np.testing.assert_array_equal(tiny_fleet.weights_row(1), rows[1])
+        assert tiny_fleet.weights_row(0) is None
+
+    def test_arena_recycles_and_bounds_memory(self, tiny_fleet):
+        tiny_fleet.retain_history = False
+        dim = tiny_fleet.dim
+        tiny_fleet.round_matrix([0, 1, 2])
+        first = tiny_fleet.state_nbytes
+        assert first == 3 * dim * 8
+        tiny_fleet.round_matrix([3, 4])  # smaller round reuses the arena
+        assert tiny_fleet.state_nbytes == first
+        assert tiny_fleet.weights_row(0) is None  # recycled away
+        assert tiny_fleet.materialized_rows == 2
+
+    def test_stale_standalone_row_cleared(self, tiny_fleet):
+        tiny_fleet.set_weights(2, np.zeros(tiny_fleet.dim))
+        tiny_fleet.retain_history = False
+        rows = tiny_fleet.round_matrix([2])
+        rows[0] = 5.0
+        np.testing.assert_array_equal(tiny_fleet.weights_row(2), rows[0])
+        tiny_fleet.round_matrix([3])
+        assert tiny_fleet.weights_row(2) is None  # not the stale zeros
+
+    def test_stack_weights_zero_copy_for_registered_round(self, tiny_fleet):
+        tiny_fleet.retain_history = False
+        rows = tiny_fleet.round_matrix([2, 6, 4])
+        rows[:] = 3.0
+        stacked = tiny_fleet.stack_weights([2, 6, 4])
+        assert np.shares_memory(stacked, tiny_fleet._arena)
+        np.testing.assert_array_equal(stacked, rows)
+
+    def test_stack_weights(self, tiny_fleet):
+        tiny_fleet.retain_history = False
+        rows = tiny_fleet.round_matrix([1, 5])
+        rows[0] = 1.0
+        rows[1] = 2.0
+        stacked = tiny_fleet.stack_weights([5, 1])
+        np.testing.assert_array_equal(stacked[0], rows[1])
+        np.testing.assert_array_equal(stacked[1], rows[0])
+        with pytest.raises(ValueError, match="no weights"):
+            tiny_fleet.stack_weights([0])
+
+
+class TestFleetState:
+    def test_reads_default_to_shared_zeros(self):
+        state = FleetState(10, 4)
+        row = state.row(7)
+        np.testing.assert_array_equal(row, 0.0)
+        assert not row.flags.writeable  # accidental writes raise
+        assert state.materialized == 0
+        assert not state.is_materialized(7)
+
+    def test_set_and_rekey_by_device_id(self):
+        state = FleetState(10, 4)
+        state.set(7, np.arange(4.0))
+        state.set(2, np.full(4, 5.0))
+        assert state.materialized == 2
+        np.testing.assert_array_equal(state.row(7), np.arange(4.0))
+        np.testing.assert_array_equal(state[2], np.full(4, 5.0))
+        # Pool growth must not invalidate values.
+        for i in (0, 1, 3, 4, 5, 6, 8, 9):
+            state.set(i, np.full(4, float(i)))
+        np.testing.assert_array_equal(state.row(7), np.arange(4.0))
+
+    def test_mapping_interface_spans_population(self):
+        state = FleetState(3, 2)
+        state.set(1, np.ones(2))
+        assert len(state) == 3
+        assert list(state.keys()) == [0, 1, 2]
+        values = list(state.values())
+        np.testing.assert_array_equal(values[1], 1.0)
+        np.testing.assert_array_equal(values[0], 0.0)
+        assert {i for i, _ in state.items()} == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetState(0, 4)
+        with pytest.raises(ValueError):
+            FleetState(4, 0)
+
+
+class TestPopulationProtocol:
+    def test_len_iter_getitem(self, tiny_fleet):
+        assert len(tiny_fleet) == 8
+        devs = list(tiny_fleet)
+        assert [d.device_id for d in devs] == list(range(8))
+        assert all(isinstance(d, FleetDevice) for d in devs)
+
+    def test_make_fleet_returns_device_fleet(self, tiny_fleet):
+        assert isinstance(tiny_fleet, DeviceFleet)
+
+
+class TestSharedZeroDataset:
+    def test_num_classes_and_name_carried(self, tiny_split, tiny_trainer):
+        train_set, _ = tiny_split
+        fleet = make_fleet(
+            train_set, _parts(train_set), np.ones(8), tiny_trainer, name="pop"
+        )
+        shard = fleet.shard(0)
+        assert isinstance(shard, ClassificationDataset)
+        assert shard.num_classes == train_set.num_classes
+        assert shard.name == "pop/dev0"

@@ -60,3 +60,23 @@ class TestTrainerMomentum:
         a, _ = trainer.train(w0, shard, 1, stream_key=(5,))
         b, _ = trainer.train(w0, shard, 1, stream_key=(5,))
         np.testing.assert_array_equal(a, b)
+
+    def test_velocity_buffer_is_preallocated_and_reused(self, shard):
+        """The momentum path reuses one preallocated buffer per trainer
+        (the ``_scratch`` pattern): no per-call d-vector allocation, and a
+        dirtied buffer never leaks into the next call's trajectory."""
+        model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+        trainer = LocalTrainer(model, lr=0.05, batch_size=20, seed=1, momentum=0.9)
+        assert trainer._velocity is not None
+        assert trainer._velocity.shape == (trainer.dim,)
+        buf = trainer._velocity
+        w0 = get_flat_params(model)
+        a, _ = trainer.train(w0, shard, 2, stream_key=(5,))
+        assert trainer._velocity is buf  # reused, not reallocated
+        buf.fill(123.0)  # dirty it between units
+        b, _ = trainer.train(w0, shard, 2, stream_key=(5,))
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_velocity_buffer_without_momentum(self):
+        model = paper_mlp(6, 3, seed=0, hidden=(8, 4))
+        assert LocalTrainer(model, seed=1)._velocity is None

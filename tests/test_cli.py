@@ -227,3 +227,33 @@ class TestEnvironmentFlags:
     def test_list_all_includes_envs(self, capsys):
         assert main(["list"]) == 0
         assert "environments:" in capsys.readouterr().out
+
+
+class TestFleetProfileFlags:
+    def test_fleet_profile_reaches_spec(self):
+        args = build_parser().parse_args(["run", "--fleet-profile", "lab"])
+        spec = spec_from_args(args)
+        assert spec.fleet_profile == "lab"
+        assert spec.num_devices == 100
+
+    def test_default_is_no_profile(self):
+        spec = spec_from_args(build_parser().parse_args(["run"]))
+        assert spec.fleet_profile is None
+
+    def test_unknown_profile_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fleet-profile", "galaxy"])
+
+    def test_list_fleets(self, capsys):
+        assert main(["list", "fleets"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet profiles:" in out
+        assert "metro" in out and "devices=20000" in out
+
+    def test_profile_is_a_grid_axis(self, capsys, tmp_path):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0",
+                   "--rounds", "1", "--quiet", "--json",
+                   "--grid", "fleet_profile=bench",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert '"final_mean"' in capsys.readouterr().out

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
+    FLEET_PROFILES,
     METHODS,
     ExperimentSpec,
     build_experiment,
@@ -251,3 +252,58 @@ class TestEnvironmentWiring:
         fast = run_experiment(fast_spec(rounds=2))
         slow = run_experiment(fast_spec(rounds=2, env="satellite"))
         assert slow.history.times[-1] > fast.history.times[-1]
+
+
+class TestFleetProfiles:
+    def test_profile_fills_population_defaults(self):
+        spec = ExperimentSpec(fleet_profile="city")
+        assert spec.num_devices == FLEET_PROFILES["city"]["num_devices"]
+        assert spec.num_samples == FLEET_PROFILES["city"]["num_samples"]
+        assert spec.participation == FLEET_PROFILES["city"]["participation"]
+
+    def test_explicit_fields_beat_the_profile(self):
+        """A field moved off its default keeps the explicit value, so
+        grids over profile-covered fields still vary (a profile supplies
+        defaults, it is not authoritative)."""
+        spec = ExperimentSpec(fleet_profile="lab", num_devices=3)
+        assert spec.num_devices == 3
+        assert spec.num_samples == FLEET_PROFILES["lab"]["num_samples"]
+
+    def test_profile_does_not_collapse_grids(self):
+        from repro.campaign import sweep
+
+        specs = sweep(
+            ExperimentSpec(fleet_profile="city"),
+            {"participation": [0.2, 0.5]},
+        )
+        assert [s.participation for s in specs] == [0.2, 0.5]
+        assert all(
+            s.num_devices == FLEET_PROFILES["city"]["num_devices"]
+            for s in specs
+        )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="fleet_profile"):
+            fast_spec(fleet_profile="galaxy")
+
+    def test_profile_round_trips_through_json(self):
+        import json as _json
+
+        for spec in (ExperimentSpec(fleet_profile="city"),
+                     fast_spec(fleet_profile="bench")):
+            wire = _json.loads(_json.dumps(spec.to_dict()))
+            assert ExperimentSpec.from_dict(wire) == spec
+
+    def test_profile_is_sweepable(self):
+        from repro.campaign import sweep
+
+        specs = sweep(ExperimentSpec(), {"fleet_profile": ["bench", "lab"]})
+        assert [s.num_devices for s in specs] == [
+            FLEET_PROFILES["bench"]["num_devices"],
+            FLEET_PROFILES["lab"]["num_devices"],
+        ]
+
+    def test_none_profile_leaves_fields_alone(self):
+        spec = fast_spec(num_devices=7)
+        assert spec.fleet_profile is None
+        assert spec.num_devices == 7
