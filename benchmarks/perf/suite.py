@@ -64,6 +64,7 @@ from repro.env.network import SampledNetwork
 from repro.experiments import ExperimentSpec, build_experiment
 from repro.nn.models import paper_mlp
 from repro.nn.serialization import get_flat_params, set_flat_params
+from repro.simulation.scheduler import UNIT_COMPLETE, Scheduler
 
 __all__ = ["PerfScale", "SCALES", "run_suite"]
 
@@ -91,6 +92,9 @@ class PerfScale:
     fleet_rounds: int
     fleet_participation: float
     e2e_participation: float
+    # Scheduler-throughput bench (the async runtime's hot loop).
+    scheduler_devices: int
+    scheduler_horizon: float
 
 
 SCALES = {
@@ -113,6 +117,8 @@ SCALES = {
         fleet_rounds=3,
         fleet_participation=1.0,
         e2e_participation=0.1,
+        scheduler_devices=5000,
+        scheduler_horizon=2.0,
     ),
     "full": PerfScale(
         name="full",
@@ -133,6 +139,8 @@ SCALES = {
         fleet_rounds=3,
         fleet_participation=1.0,
         e2e_participation=0.1,
+        scheduler_devices=5000,
+        scheduler_horizon=5.0,
     ),
 }
 
@@ -450,6 +458,50 @@ def _bench_fedavg_e2e(scale: PerfScale) -> dict:
     )
 
 
+def _bench_scheduler_events(scale: PerfScale) -> dict:
+    """Discrete-event scheduler throughput at fleet scale.
+
+    Replays the async runtime's hot loop — every device of a
+    ``scheduler_devices``-sized fleet continuously completing and
+    rescheduling training units over a virtual horizon — with the
+    training itself stubbed out, so the number is pure event machinery:
+    heap push/pop, clock advance, handler dispatch.  Reported as
+    events/sec (trajectory number; there is no legacy pair because the
+    runtime is new).
+    """
+    counts = sample_unit_counts(scale.scheduler_devices, 1, 10, seed=21)
+    unit_times = unit_times_from_counts(counts)
+    horizon = scale.scheduler_horizon
+    events = 0  # identical every run (deterministic schedule)
+
+    def run() -> None:
+        nonlocal events
+        sched = Scheduler()
+
+        def on_complete(ev) -> None:
+            dev = ev.payload
+            nxt = ev.time + unit_times[dev]
+            if nxt <= horizon:
+                sched.at(nxt, UNIT_COMPLETE, dev)
+
+        sched.on(UNIT_COMPLETE, on_complete)
+        for dev in range(scale.scheduler_devices):
+            sched.at(float(unit_times[dev]), UNIT_COMPLETE, dev)
+        sched.run()
+        events = sched.events_processed
+
+    best = _best_of(run, max(3, scale.repeats // 3))
+    return {
+        "after_s": best,
+        "detail": {
+            "devices": scale.scheduler_devices,
+            "horizon": horizon,
+            "events": events,
+            "events_per_s": round(events / best, 1),
+        },
+    }
+
+
 def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
     """Run every benchmark at ``scale_name``; returns the JSON-ready report."""
     scale = SCALES[scale_name]
@@ -466,6 +518,7 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "fleet_build": _bench_fleet_build(scale),
         "fleet_round": _bench_fleet_round(scale),
         "fedavg_round_e2e": _bench_fedavg_e2e(scale),
+        "scheduler_events": _bench_scheduler_events(scale),
     }
     return {
         "schema": 1,

@@ -14,14 +14,15 @@ Package layout (see DESIGN.md for the full inventory):
 - :mod:`repro.core` — FedHiSyn itself (clustering, rings, aggregation,
   Algorithm 1) and the shared server scaffolding.
 - :mod:`repro.baselines` — FedAvg, TFedAvg, TAFedAvg, FedProx, FedAT,
-  SCAFFOLD.
+  SCAFFOLD, plus the event-driven async pair FedAsync and FedBuff.
 - :mod:`repro.nn` — pure-NumPy neural networks (the paper's MLP and CNN).
 - :mod:`repro.datasets` — synthetic dataset generators + partitioners.
 - :mod:`repro.device` — device model, heterogeneity, link delays.
 - :mod:`repro.env` — pluggable environments: network latency/bandwidth,
   message loss, device availability, named presets (``ideal`` … ``wan``).
-- :mod:`repro.simulation` — virtual clock, event queue, ring engine,
-  transmission metering.
+- :mod:`repro.simulation` — the discrete-event scheduler (virtual clock
+  + event queue) every method runs on, ring engine, transmission
+  metering, time-to-accuracy histories.
 - :mod:`repro.analysis` — Eq. 4 divergence, Theorem 5.1 bound, sweeps.
 - :mod:`repro.experiments` — one-config experiment assembly.
 - :mod:`repro.campaign` — sweep expansion, parallel cached campaigns,
@@ -37,8 +38,9 @@ from repro.core.registry import register_method
 from repro.env import Environment, make_environment, register_environment
 from repro.experiments import ExperimentSpec, METHODS, build_experiment, run_experiment
 from repro.simulation.results import RunResult
+from repro.simulation.scheduler import Scheduler
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FedHiSynServer",
@@ -47,6 +49,7 @@ __all__ = [
     "build_experiment",
     "run_experiment",
     "RunResult",
+    "Scheduler",
     "METHODS",
     "register_method",
     "Environment",

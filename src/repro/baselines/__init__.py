@@ -1,4 +1,4 @@
-"""The paper's six comparison methods (Section 6.1, "Baselines").
+"""The paper's six comparison methods plus the event-driven async family.
 
 All subclass :class:`repro.core.server.FederatedServer`, so they share
 participant sampling, the virtual clock, transmission metering and
@@ -20,10 +20,22 @@ FedAT       capacity tiers; synchronous inside a tier, tiers update the
 SCAFFOLD    synchronous control-variate correction; each transfer costs
             two model units (model + variate)
 ========== =============================================================
+
+The asynchronous pair runs on the discrete-event scheduler instead of
+rounds (``config.rounds`` counts server aggregations):
+
+========== =============================================================
+FedAsync    every arrived upload immediately mixes into the global model
+            with rate ``alpha * decay(staleness)``
+FedBuff     uploads buffer as staleness-weighted deltas; the server steps
+            once per ``buffer_goal`` arrivals
+========== =============================================================
 """
 
 from repro.baselines.fedavg import FedAvgConfig, FedAvgServer
+from repro.baselines.fedasync import FedAsyncConfig, FedAsyncServer
 from repro.baselines.fedat import FedATConfig, FedATServer
+from repro.baselines.fedbuff import FedBuffConfig, FedBuffServer
 from repro.baselines.fedprox import FedProxConfig, FedProxServer
 from repro.baselines.scaffold import ScaffoldConfig, ScaffoldServer
 from repro.baselines.tafedavg import TAFedAvgConfig, TAFedAvgServer
@@ -41,6 +53,10 @@ ALL_BASELINES = {
 __all__ = [
     "FedAvgConfig",
     "FedAvgServer",
+    "FedAsyncConfig",
+    "FedAsyncServer",
+    "FedBuffConfig",
+    "FedBuffServer",
     "TFedAvgConfig",
     "TFedAvgServer",
     "TAFedAvgConfig",

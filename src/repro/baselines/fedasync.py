@@ -1,0 +1,64 @@
+"""FedAsync (Xie et al., 2019): fully asynchronous staleness-weighted mixing.
+
+Every arrived upload immediately moves the global model,
+
+    w <- (1 - alpha_s) * w + alpha_s * w_device,
+    alpha_s = alpha * decay(staleness),
+
+where staleness counts the global versions absorbed since the device's
+base model was dispatched, and ``decay`` is one of the shared
+``constant`` / ``polynomial`` / ``hinge`` families.  Devices never wait:
+they train continuously at their unit-time rates on whatever model is
+freshest locally, so fast devices contribute often with low staleness and
+stragglers contribute rarely with high staleness — which the decay damps.
+
+This is the event-driven generalization of what :mod:`~repro.baselines.
+tafedavg` approximates inside a reporting round: here arrivals follow the
+environment's real per-link latencies and drops, and virtual time (not a
+round counter) orders everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.async_server import AsyncFederatedServer, AsyncServerConfig
+from repro.core.registry import register_method
+from repro.utils.config import validate_fraction
+
+__all__ = ["FedAsyncConfig", "FedAsyncServer"]
+
+
+@dataclass
+class FedAsyncConfig(AsyncServerConfig):
+    """``alpha``: base mixing rate per upload, damped by the staleness
+    decay (``staleness_decay`` / ``staleness_exponent`` / ``hinge_delay``
+    from the shared async config)."""
+
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_fraction(self.alpha, "alpha")
+
+
+@register_method(
+    "fedasync",
+    config=FedAsyncConfig,
+    description="event-driven async FL: every upload mixes with staleness decay",
+)
+class FedAsyncServer(AsyncFederatedServer):
+    method = "fedasync"
+
+    def apply_upload(
+        self, dev_id: int, trained: np.ndarray, base: np.ndarray, staleness: int
+    ) -> bool:
+        cfg: FedAsyncConfig = self.config  # type: ignore[assignment]
+        rate = cfg.alpha * self.mix_weight(staleness)
+        # Replace, never mutate: in-flight broadcast payloads alias the
+        # previous global vector.
+        self.global_weights = (1.0 - rate) * self.global_weights + rate * trained
+        self._version += 1
+        return True

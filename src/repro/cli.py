@@ -37,6 +37,7 @@ import sys
 from typing import Any
 
 from repro.campaign import Campaign, CampaignResult, sweep
+from repro.core.async_server import STALENESS_DECAYS
 from repro.core.registry import method_entries
 from repro.core.selection import SELECTION_POLICIES
 from repro.datasets.registry import DATASETS
@@ -83,6 +84,16 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
     g.add_argument("--batch-size", type=int, default=50)
     g.add_argument("--eval-every", type=int, default=1,
                    help="evaluate the global model every k rounds")
+    g.add_argument("--eval-time-every", type=float, default=None,
+                   help="also evaluate every this many units of *virtual "
+                        "time* (scheduler eval checkpoints; feeds "
+                        "time-to-accuracy)")
+    g.add_argument("--staleness-decay", default=None,
+                   choices=sorted(STALENESS_DECAYS),
+                   help="async methods: staleness decay for upload mixing "
+                        "(fedasync/fedbuff; ignored by sync methods)")
+    g.add_argument("--buffer-goal", type=int, default=None,
+                   help="fedbuff: uploads per aggregation (K)")
     g.add_argument("--model-family", default=None, choices=["mlp", "cnn"],
                    help="override the dataset's default model family")
     g.add_argument("--model-preset", default="small", choices=["small", "paper"])
@@ -199,6 +210,9 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         lr=args.lr,
         batch_size=args.batch_size,
         eval_every=args.eval_every,
+        eval_time_every=args.eval_time_every,
+        staleness_decay=args.staleness_decay,
+        buffer_goal=args.buffer_goal,
         model_family=args.model_family,
         model_preset=args.model_preset,
         selection=args.selection,
@@ -291,6 +305,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         logger = RunLogger(method, stream=sys.stdout, verbose=True)
     result = run_experiment(spec, logger=logger)
     cost = result.cost_to_target(target)
+    ttt = result.time_to_target(target)
 
     if args.json:
         print(json.dumps({
@@ -298,6 +313,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "config": result.config,
             "target": target,
             "cost_to_target": cost,
+            "time_to_target": ttt,
             "history": result.history.to_dict(),
         }, indent=2))
         return 0
@@ -307,7 +323,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("\n" + labelled_curve("test accuracy", result.history.accuracies))
     print(f"{method}: final accuracy {result.final_accuracy:.4f}, "
           f"best {result.best_accuracy:.4f}, "
-          f"cost@{target:.0%} {'X' if cost is None else f'{cost:.1f}'}")
+          f"cost@{target:.0%} {'X' if cost is None else f'{cost:.1f}'}, "
+          f"vtime@{target:.0%} {'X' if ttt is None else f'{ttt:.2f}'}")
     return 0
 
 

@@ -1,0 +1,377 @@
+"""Event-driven asynchronous federated server.
+
+Where the synchronous :class:`~repro.core.server.FederatedServer` runs
+rounds as degenerate barrier events, :class:`AsyncFederatedServer` runs a
+*real* schedule on the same :class:`~repro.simulation.scheduler.Scheduler`:
+devices train continuously at their fleet unit-time rates, every message
+crosses the environment's per-link latency (not the round's slowest link),
+message drops hit individual transfers, and availability churn fires as
+``availability_change`` events instead of per-round masks.
+
+The device lifecycle (one state machine per cohort member):
+
+1. ``broadcast_arrival`` — a server push lands; a *parked* (idle) device
+   wakes and starts a unit, a training device banks the newest model for
+   its next unit (models arriving mid-unit never interrupt — the same
+   rule as the FedHiSyn ring engine).
+2. ``unit_complete`` — the unit's training actually executes (one
+   ``run_unit`` call), the result is uploaded through the env channel,
+   and the next unit begins immediately from the freshest model on hand:
+   the newest server push if one arrived, else the device's own result.
+   Devices never idle waiting for the server — a lost reply just means
+   more local continuation, exactly the failure mode staleness decay
+   exists to damp.
+3. ``upload_arrival`` — the upload lands after its uplink latency; the
+   subclass hook :meth:`apply_upload` mixes it (FedAsync) or buffers it
+   (FedBuff).  The server replies with the current global model, which
+   feeds step 1.
+
+**Staleness** is version-counted: the server increments a global version
+per aggregation, every dispatched model is stamped with it, and an upload
+computed against version ``v`` arriving at version ``V`` has staleness
+``V - v``.  :func:`staleness_weight` maps that to a mixing multiplier via
+the ``constant`` / ``polynomial`` / ``hinge`` decay families of Xie et
+al.'s FedAsync — shared by both async methods (FedBuff leaks stale buffer
+entries through the same hook).
+
+``config.rounds`` means *server aggregations* (global model versions), so
+``eval_every`` and campaign comparisons keep their shape across the
+sync/async divide; time-to-accuracy comparisons use virtual time and the
+``eval_time_every`` checkpoint process.
+
+Determinism: the cohort draw uses seed stream ``(0, 1)`` (synchronous
+rounds draw ``(round >= 1, 1)``, so the streams are disjoint), training
+streams are ``(device, 0, unit_idx)`` (sync units use round >= 1),
+churn epochs draw ``(epoch, 3)`` and message drops the persistent
+``(0, 101)`` stream — two identically-seeded runs replay the exact same
+event trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.server import (
+    _AVAILABILITY_STREAM,
+    FederatedServer,
+    ServerConfig,
+)
+from repro.device.device import Device
+from repro.env.network import SERVER
+from repro.simulation.results import RunResult
+from repro.simulation.scheduler import (
+    AVAILABILITY_CHANGE,
+    BROADCAST_ARRIVAL,
+    EVAL_CHECKPOINT,
+    UNIT_COMPLETE,
+    UPLOAD_ARRIVAL,
+    Scheduler,
+)
+from repro.utils.config import validate_positive
+
+__all__ = [
+    "STALENESS_DECAYS",
+    "staleness_weight",
+    "AsyncServerConfig",
+    "AsyncFederatedServer",
+]
+
+#: The staleness-decay families (FedAsync Section 5.2, adopted by FedBuff):
+#: ``constant`` ignores staleness, ``polynomial`` damps as
+#: ``(1 + s) ** -a``, ``hinge`` is flat up to a grace of ``b`` versions
+#: then decays as ``1 / (a * (s - b) + 1)``.
+STALENESS_DECAYS = ("constant", "polynomial", "hinge")
+
+
+def staleness_weight(
+    staleness: int,
+    decay: str,
+    exponent: float = 0.5,
+    hinge_delay: int = 4,
+) -> float:
+    """Mixing multiplier in (0, 1] for an upload ``staleness`` versions old."""
+    if staleness < 0:
+        raise ValueError(f"staleness must be non-negative, got {staleness}")
+    if decay == "constant":
+        return 1.0
+    if decay == "polynomial":
+        return float((1.0 + staleness) ** -exponent)
+    if decay == "hinge":
+        if staleness <= hinge_delay:
+            return 1.0
+        return float(1.0 / (exponent * (staleness - hinge_delay) + 1.0))
+    raise ValueError(f"decay must be one of {STALENESS_DECAYS}, got {decay!r}")
+
+
+@dataclass
+class AsyncServerConfig(ServerConfig):
+    """Shared knobs of the asynchronous method family.
+
+    ``rounds`` (inherited) counts server aggregations.  ``churn_period``
+    is the virtual-time spacing of availability re-draws; None uses the
+    cohort's slowest unit time (the async analogue of a round).
+    """
+
+    staleness_decay: str = "polynomial"
+    staleness_exponent: float = 0.5
+    hinge_delay: int = 4
+    churn_period: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.staleness_decay not in STALENESS_DECAYS:
+            raise ValueError(
+                f"staleness_decay must be one of {STALENESS_DECAYS}, "
+                f"got {self.staleness_decay!r}"
+            )
+        if self.staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be >= 0, got {self.staleness_exponent}"
+            )
+        if self.hinge_delay < 0:
+            raise ValueError(
+                f"hinge_delay must be >= 0, got {self.hinge_delay}"
+            )
+        if self.churn_period is not None:
+            validate_positive(self.churn_period, "churn_period")
+
+
+class AsyncFederatedServer(FederatedServer):
+    """Base class of the asynchronous methods; subclasses implement one
+    hook, :meth:`apply_upload`, and inherit the whole event loop."""
+
+    method = "async-base"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Set True (e.g. by tests) before fit() to record the event trace.
+        self.record_trace = False
+        # Server aggregation counter — the staleness reference frame.
+        self._version = 0
+        self._finished = False
+
+    # ---------------------------------------------------------------- hook
+
+    def apply_upload(
+        self, dev_id: int, trained: np.ndarray, base: np.ndarray, staleness: int
+    ) -> bool:
+        """Absorb one arrived upload; return True when it produced a new
+        global model version (the server must have bumped ``_version`` and
+        *replaced* — never mutated — ``global_weights``, which in-flight
+        broadcast payloads alias)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+
+    def mix_weight(self, staleness: int) -> float:
+        """The configured staleness decay evaluated at ``staleness``."""
+        cfg: AsyncServerConfig = self.config  # type: ignore[assignment]
+        return staleness_weight(
+            staleness, cfg.staleness_decay, cfg.staleness_exponent, cfg.hinge_delay
+        )
+
+    def _select_cohort(self) -> list[Device]:
+        """The devices participating in this run — the server's shared
+        Bernoulli(participation) sampling core, drawn once on stream
+        ``(0, 1)`` (sync rounds use ``(round >= 1, 1)``).  Availability is
+        *not* filtered here: churn is event-driven over the run's span."""
+        rng = self._seeds.generator(0, 1)
+        if self.selection_policy is not None:
+            return list(self.selection_policy.select(0, self.devices, rng))
+        if self.fleet is not None:
+            ids = self._bernoulli_ids(rng)
+            return list(map(self.fleet.device, np.asarray(ids).tolist()))
+        return self._bernoulli_devices(rng)
+
+    def _send_down(self, dev: Device) -> float | None:
+        """Meter one server→device push; None when the message is lost,
+        else its per-link transfer latency."""
+        self.meter.record_download(1)
+        if self._drop_one():
+            return None
+        return self.env.network.transfer_time(SERVER, dev.device_id, 1.0)
+
+    def _send_up(self, dev: Device) -> float | None:
+        """Meter one device→server upload; None when lost, else latency."""
+        self.meter.record_upload(1)
+        if self._drop_one():
+            return None
+        return self.env.network.transfer_time(dev.device_id, SERVER, 1.0)
+
+    def _dispatch_global(self, dev_id: int) -> None:
+        """Reply to a device with the current global model (stamped with
+        the current version) through the downlink."""
+        lat = self._send_down(self._by_id[dev_id])
+        if lat is not None:
+            self.scheduler.at(
+                self.scheduler.now + lat,
+                BROADCAST_ARRIVAL,
+                (dev_id, self.global_weights, self._version),
+            )
+
+    # ------------------------------------------------------------- handlers
+
+    def _begin_unit(self, dev_id: int) -> None:
+        """Start the device's next unit from the freshest model on hand:
+        the newest arrived server push, else its own latest result."""
+        arrival = self._inbox.pop(dev_id, None)
+        if arrival is not None:
+            self._start_model[dev_id], self._base_version[dev_id] = arrival
+        else:
+            self._start_model[dev_id] = self._own_model[dev_id]
+        self.scheduler.at(
+            self.scheduler.now + self._unit_time[dev_id], UNIT_COMPLETE, dev_id
+        )
+
+    def _on_broadcast_arrival(self, ev) -> None:
+        dev_id, weights, version = ev.payload
+        banked = self._inbox.get(dev_id)
+        # Newest version wins; an older in-flight reply never clobbers it.
+        if banked is None or version >= banked[1]:
+            self._inbox[dev_id] = (weights, version)
+        if dev_id in self._parked and dev_id not in self._offline:
+            self._parked.discard(dev_id)
+            self._begin_unit(dev_id)
+
+    def _on_unit_complete(self, ev) -> None:
+        dev_id = ev.payload
+        dev = self._by_id[dev_id]
+        start = self._start_model[dev_id]
+        trained = dev.run_unit(
+            start, self.config.local_epochs, 0, self._unit_idx[dev_id], sync=False
+        )
+        self._unit_idx[dev_id] += 1
+        self._own_model[dev_id] = trained
+        if dev_id in self._offline:
+            # Went offline mid-unit: the result stays local, the device
+            # parks until a later availability epoch brings it back.
+            self._parked.add(dev_id)
+            return
+        lat = self._send_up(dev)
+        if lat is not None:
+            self.scheduler.at(
+                self.scheduler.now + lat,
+                UPLOAD_ARRIVAL,
+                (dev_id, trained, start, self._base_version[dev_id]),
+            )
+        self._begin_unit(dev_id)
+
+    def _on_upload_arrival(self, ev) -> None:
+        dev_id, trained, base, base_version = ev.payload
+        staleness = self._version - base_version
+        aggregated = self.apply_upload(dev_id, trained, base, staleness)
+        if aggregated:
+            self._deployed_weights = self.global_weights
+            self._after_aggregate()
+        if not self._finished:
+            self._dispatch_global(dev_id)
+
+    def _on_availability_change(self, ev) -> None:
+        """Churn epoch boundary: re-draw who is online (same rng stream
+        family as the synchronous per-round masks, keyed by epoch), park
+        departures at their next unit end, wake returners now."""
+        epoch = ev.payload
+        rng = self._seeds.generator(epoch, _AVAILABILITY_STREAM)
+        if self.fleet is not None:
+            online = self.env.available_ids(
+                epoch,
+                self._cohort_ids,
+                self._unit_times[self._cohort_ids],
+                rng,
+            )
+            online_set = set(int(i) for i in online)
+        else:
+            online = self.env.available(epoch, self.cohort, rng)
+            online_set = {d.device_id for d in online}
+        offline = self._all_ids - online_set
+        self.unavailable_count += len(offline)
+        self._offline = offline
+        for dev_id in sorted(self._parked - offline):
+            self._parked.discard(dev_id)
+            self._begin_unit(dev_id)
+        self.scheduler.at(
+            (epoch + 1) * self._churn_period, AVAILABILITY_CHANGE, epoch + 1
+        )
+
+    def _after_aggregate(self) -> None:
+        """Bookkeeping after a new global version: periodic round-indexed
+        eval (version plays the round's role) and termination."""
+        v = self._version
+        cfg = self.config
+        if v % cfg.eval_every == 0 or v >= cfg.rounds:
+            acc, loss = self.evaluate(self.global_weights)
+            self.history.record(
+                v, self.clock.now, self.meter.server_total, acc, loss
+            )
+            self.logger.log(
+                round=v,
+                accuracy=round(acc, 4),
+                loss=round(loss, 4),
+                transfers=self.meter.server_total,
+                vtime=round(self.clock.now, 3),
+            )
+        if v >= cfg.rounds:
+            self._finished = True
+            self.scheduler.stop()
+
+    # --------------------------------------------------------------- driver
+
+    def fit(self, initial_weights: np.ndarray | None = None) -> RunResult:
+        """Run the event loop until ``config.rounds`` aggregations land."""
+        if initial_weights is not None:
+            self.global_weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        cfg: AsyncServerConfig = self.config  # type: ignore[assignment]
+        sched = Scheduler(clock=self.clock, record_trace=self.record_trace)
+        self.scheduler = sched
+        self._version = 0
+        self._finished = False
+        self._deployed_weights = self.global_weights
+        self._checkpoint_eval = None
+
+        self.cohort = self._select_cohort()
+        ids = [d.device_id for d in self.cohort]
+        self._cohort_ids = np.asarray(ids, dtype=np.intp)
+        self._all_ids = set(ids)
+        self._by_id = {d.device_id: d for d in self.cohort}
+        self._unit_time = {d.device_id: d.unit_time for d in self.cohort}
+        self._start_model: dict[int, np.ndarray] = {}
+        self._base_version = {i: 0 for i in ids}
+        self._own_model = {i: self.global_weights for i in ids}
+        self._inbox: dict[int, tuple[np.ndarray, int]] = {}
+        self._unit_idx = {i: 0 for i in ids}
+        self._offline: set[int] = set()
+        self._parked: set[int] = set(ids)
+        self._churn_period = (
+            cfg.churn_period
+            if cfg.churn_period is not None
+            else float(max(self._unit_time.values()))
+        )
+
+        sched.on(BROADCAST_ARRIVAL, self._on_broadcast_arrival)
+        sched.on(UNIT_COMPLETE, self._on_unit_complete)
+        sched.on(UPLOAD_ARRIVAL, self._on_upload_arrival)
+        sched.on(AVAILABILITY_CHANGE, self._on_availability_change)
+        sched.on(EVAL_CHECKPOINT, self._on_eval_checkpoint)
+        if not self.env.availability.always_on:
+            sched.at(self._churn_period, AVAILABILITY_CHANGE, 1)
+        if cfg.eval_time_every is not None:
+            sched.at(cfg.eval_time_every, EVAL_CHECKPOINT)
+
+        # t=0 provisioning: the server pushes the initial model to the
+        # whole cohort.  Metered per link but lossless — a fleet is
+        # provisioned with the initial model out of band, and a "lost"
+        # provisioning push would just re-deliver the identical vector.
+        for dev in self.cohort:
+            self.meter.record_download(1)
+            lat = self.env.network.transfer_time(SERVER, dev.device_id, 1.0)
+            sched.at(lat, BROADCAST_ARRIVAL, (dev.device_id, self.global_weights, 0))
+
+        sched.run()
+        return self._assemble_result()
+
+    def run_round(self, round_idx, participants, global_weights):
+        raise NotImplementedError(
+            "async servers run on the event loop, not per-round hooks"
+        )

@@ -30,6 +30,13 @@ from repro.nn.serialization import get_flat_params, set_flat_params
 from repro.simulation.clock import VirtualClock
 from repro.simulation.metrics import MetricsHistory, TransmissionMeter
 from repro.simulation.results import RunResult
+from repro.simulation.scheduler import (
+    EVAL_CHECKPOINT,
+    ROUND_BARRIER,
+    Scheduler,
+    completed_units,
+    completed_units_array,
+)
 from repro.utils.config import validate_fraction, validate_positive
 from repro.utils.logging import NullLogger, RunLogger
 from repro.utils.rng import SeedSequenceFactory
@@ -52,6 +59,12 @@ class ServerConfig:
     participation: float = 1.0  # per-device probability of joining a round
     local_epochs: int = 5  # epochs per training unit
     eval_every: int = 1  # evaluate the global model every k rounds
+    # Virtual-time-indexed evaluation: when set, the scheduler fires an
+    # eval_checkpoint event every ``eval_time_every`` units of virtual time
+    # and the deployed model's metrics land in the history's checkpoint
+    # series — the time-to-accuracy sampling process.  None = round-end
+    # evals only (the paper's convention).
+    eval_time_every: float | None = None
     seed: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -60,6 +73,8 @@ class ServerConfig:
         validate_fraction(self.participation, "participation")
         validate_positive(self.local_epochs, "local_epochs")
         validate_positive(self.eval_every, "eval_every")
+        if self.eval_time_every is not None:
+            validate_positive(self.eval_time_every, "eval_time_every")
 
 
 class FederatedServer:
@@ -113,6 +128,9 @@ class FederatedServer:
         self.meter = TransmissionMeter()
         self.clock = VirtualClock()
         self.history = MetricsHistory()
+        # The discrete-event runtime driving fit(); built fresh per fit()
+        # call around the current clock (see the event-driven driver).
+        self.scheduler: Scheduler | None = None
         self._seeds = SeedSequenceFactory(self.config.seed)
         self.global_weights = get_flat_params(self.trainer.model)
         # Optional pluggable selection policy (repro.core.selection);
@@ -161,6 +179,31 @@ class FederatedServer:
         a broadcast down and an upload back for each expected participant."""
         return 2.0 * self.expected_participants
 
+    def _bernoulli_ids(self, rng: np.random.Generator) -> np.ndarray:
+        """Fleet-path Bernoulli(participation) draw over device *ids*,
+        at least one.  The sampling core shared by the per-round selection
+        and the async cohort draw — one place for the mask, the empty-draw
+        fallback and their rng consumption order."""
+        p = self.config.participation
+        if p >= 1.0:
+            return self.fleet.device_ids
+        mask = rng.random(len(self.fleet)) < p
+        ids = np.flatnonzero(mask)
+        if not len(ids):
+            ids = np.array([int(rng.integers(len(self.fleet)))], dtype=np.intp)
+        return ids
+
+    def _bernoulli_devices(self, rng: np.random.Generator) -> list[Device]:
+        """Object-path twin of :meth:`_bernoulli_ids` (identical draws)."""
+        p = self.config.participation
+        if p >= 1.0:
+            return list(self.devices)
+        mask = rng.random(len(self.devices)) < p
+        chosen = [d for d, m in zip(self.devices, mask) if m]
+        if not chosen:
+            chosen = [self.devices[rng.integers(len(self.devices))]]
+        return chosen
+
     def select_participants(self, round_idx: int) -> list[Device]:
         """Bernoulli(participation) per device, at least one participant.
 
@@ -177,15 +220,7 @@ class FederatedServer:
         """
         rng = self._seeds.generator(round_idx, 1)
         if self.fleet is not None and self.selection_policy is None:
-            n = len(self.fleet)
-            p = self.config.participation
-            if p >= 1.0:
-                ids = self.fleet.device_ids
-            else:
-                mask = rng.random(n) < p
-                ids = np.flatnonzero(mask)
-                if not len(ids):
-                    ids = np.array([int(rng.integers(n))], dtype=np.intp)
+            ids = self._bernoulli_ids(rng)
             if not self.env.availability.always_on:
                 online = self.env.available_ids(
                     round_idx,
@@ -202,14 +237,7 @@ class FederatedServer:
         if self.selection_policy is not None:
             chosen = self.selection_policy.select(round_idx, self.devices, rng)
         else:
-            p = self.config.participation
-            if p >= 1.0:
-                chosen = list(self.devices)
-            else:
-                mask = rng.random(len(self.devices)) < p
-                chosen = [d for d, m in zip(self.devices, mask) if m]
-                if not chosen:
-                    chosen = [self.devices[rng.integers(len(self.devices))]]
+            chosen = self._bernoulli_devices(rng)
         if not self.env.availability.always_on:
             online = self.env.available(
                 round_idx,
@@ -253,8 +281,7 @@ class FederatedServer:
         """Maximum achievable epochs within the round (paper Section 6.1):
         ``floor(duration / unit_time)`` units, at least one.  The
         per-device hook; override to change the epoch budget policy."""
-        units = max(1, int(duration / device.unit_time + 1e-9))
-        return units * self.config.local_epochs
+        return completed_units(duration, device.unit_time) * self.config.local_epochs
 
     def epochs_for(self, devices: list[Device], duration: float) -> np.ndarray:
         """Achievable local epochs per device within ``duration``.
@@ -268,8 +295,7 @@ class FederatedServer:
                 [self.local_epochs_for(d, duration) for d in devices]
             )
         times = self.unit_times_of(devices)
-        units = np.maximum(1, (duration / times + 1e-9).astype(np.intp))
-        return units * self.config.local_epochs
+        return completed_units_array(duration, times) * self.config.local_epochs
 
     def round_rows(self, devices: list[Device]) -> np.ndarray:
         """``(len(devices), dim)`` training stack for this round.
@@ -481,6 +507,21 @@ class FederatedServer:
         self.dropped_messages += len(items) - len(kept)
         return kept
 
+    def _drop_one(self) -> bool:
+        """One message's loss draw from the persistent drop stream — the
+        event-level twin of :meth:`_apply_drops` for channels that move
+        single messages (the async servers' per-link sends).  No draw (and
+        never a loss) when the environment is lossless."""
+        p = self.env.network.drop_prob
+        if p <= 0.0:
+            return False
+        if self._drop_rng is None:
+            self._drop_rng = self._seeds.generator(*_DROP_STREAM_KEY)
+        if self._drop_rng.random() < p:
+            self.dropped_messages += 1
+            return True
+        return False
+
     def round_duration(self, participants: list[Device]) -> float:
         """Paper convention: the slowest participant's unit time."""
         if self.fleet is not None:
@@ -496,26 +537,97 @@ class FederatedServer:
         set_flat_params(model, weights)
         return model.evaluate_metrics(self.test_set.x, self.test_set.y)
 
+    # ------------------------------------------------- event-driven driver
+
     def fit(self, initial_weights: np.ndarray | None = None) -> RunResult:
-        """Run ``config.rounds`` rounds and return the assembled result."""
+        """Run ``config.rounds`` rounds on the discrete-event scheduler.
+
+        A synchronous method is the *degenerate schedule*: one
+        ``round_barrier`` event per round, each handler running the whole
+        round (which advances the shared clock by its transfer + compute
+        time) and pushing the next barrier at the new now.  The clock, the
+        rng streams and every recorded float are identical to the old
+        ``for round in range(rounds)`` loop — but the run now shares its
+        runtime with the asynchronous methods, and time-indexed
+        ``eval_checkpoint`` events interleave with the barriers whenever
+        ``config.eval_time_every`` is set.
+        """
         if initial_weights is not None:
             self.global_weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        sched = Scheduler(clock=self.clock)
+        self.scheduler = sched
+        # The model the outside world sees *during* the round currently
+        # executing — what a time-indexed checkpoint inside the round's
+        # clock jump must evaluate (the aggregation lands only at its end).
+        self._deployed_weights = self.global_weights
+        self._checkpoint_eval: tuple | None = None
+        sched.on(ROUND_BARRIER, self._on_round_barrier)
+        sched.on(EVAL_CHECKPOINT, self._on_eval_checkpoint)
+        if self.config.eval_time_every is not None:
+            sched.at(self.clock.now + self.config.eval_time_every, EVAL_CHECKPOINT)
+        sched.at(self.clock.now, ROUND_BARRIER, 1)
+        sched.run()
+        return self._assemble_result()
+
+    def _on_round_barrier(self, ev) -> None:
+        """One synchronous round; schedules its successor at the new now."""
+        r = ev.payload
         cfg = self.config
-        for r in range(1, cfg.rounds + 1):
-            participants = self.select_participants(r)
-            self.global_weights = self.run_round(r, participants, self.global_weights)
-            if r % cfg.eval_every == 0 or r == cfg.rounds:
-                acc, loss = self.evaluate(self.global_weights)
-                self.history.record(
-                    r, self.clock.now, self.meter.server_total, acc, loss
-                )
-                self.logger.log(
-                    round=r,
-                    accuracy=round(acc, 4),
-                    loss=round(loss, 4),
-                    transfers=self.meter.server_total,
-                    vtime=round(self.clock.now, 3),
-                )
+        self._deployed_weights = self.global_weights
+        participants = self.select_participants(r)
+        self.global_weights = self.run_round(r, participants, self.global_weights)
+        if r % cfg.eval_every == 0 or r == cfg.rounds:
+            acc, loss = self.evaluate(self.global_weights)
+            self.history.record(
+                r, self.clock.now, self.meter.server_total, acc, loss
+            )
+            self.logger.log(
+                round=r,
+                accuracy=round(acc, 4),
+                loss=round(loss, 4),
+                transfers=self.meter.server_total,
+                vtime=round(self.clock.now, 3),
+            )
+        if r < cfg.rounds:
+            self.scheduler.at(self.clock.now, ROUND_BARRIER, r + 1)
+        else:
+            # Drain checkpoints that matured during the final round, then
+            # halt — future-dated ones must not drag the clock onward.
+            self.scheduler.finish_at(self.clock.now)
+
+    def _on_eval_checkpoint(self, ev) -> None:
+        """Time-indexed evaluation of the model deployed at ``ev.time``.
+
+        Synchronous rounds jump the clock, so a checkpoint nominally due
+        mid-round fires (lagged) right after the round's barrier; it
+        evaluates the *pre-aggregation* model — the one the world was
+        actually serving at the checkpoint's nominal time — and records
+        under that nominal time.  Transfers are metered as of the covering
+        aggregation (virtual time and the meter advance atomically per
+        round, so no finer attribution exists).
+
+        Several checkpoints maturing inside one clock jump see the same
+        deployed vector, so its metrics are computed once and shared
+        (aggregations *replace* the global vector, making object identity
+        a sound cache key).
+        """
+        weights = self._deployed_weights
+        cached = self._checkpoint_eval
+        if cached is None or cached[0] is not weights:
+            acc, loss = self.evaluate(weights)
+            self._checkpoint_eval = (weights, acc, loss)
+        else:
+            _, acc, loss = cached
+        self.history.record_time_checkpoint(
+            ev.time, self.meter.server_total, acc, loss
+        )
+        self.scheduler.at(
+            ev.time + self.config.eval_time_every, EVAL_CHECKPOINT
+        )
+
+    def _assemble_result(self) -> RunResult:
+        """The RunResult of the history/weights accumulated by a driver."""
+        cfg = self.config
         return RunResult(
             method=self.method,
             dataset=self.test_set.name,

@@ -18,8 +18,9 @@ from typing import Any
 
 import numpy as np
 
-import repro.baselines  # noqa: F401  (registers the six baselines)
+import repro.baselines  # noqa: F401  (registers the baseline methods)
 import repro.core.fedhisyn  # noqa: F401  (registers fedhisyn)
+from repro.core.async_server import STALENESS_DECAYS
 from repro.core.registry import METHOD_CONFIGS, METHOD_SERVERS, get_method
 from repro.core.selection import SELECTION_POLICIES, make_policy
 from repro.core.server import FederatedServer
@@ -103,6 +104,10 @@ class ExperimentSpec:
     lr: float = 0.1
     batch_size: int = 50
     eval_every: int = 1
+    # Virtual-time-indexed eval checkpoints every this many time units
+    # (any method; the scheduler's eval_checkpoint events) — the
+    # time-to-accuracy sampling process.  None = round-end evals only.
+    eval_time_every: float | None = None
     model_preset: str = "small"
     model_family: str | None = None  # default: the dataset registry's family
     test_fraction: float = 0.2
@@ -122,6 +127,11 @@ class ExperimentSpec:
     # and re-validation (campaign `replace`, JSON round-trips) never
     # claws a swept value back to the preset.
     fleet_profile: str | None = None
+    # Async-family knobs (fedasync/fedbuff), sweepable like any field;
+    # silently ignored by methods whose config does not define them, so a
+    # campaign grid can mix sync and async methods on one axis set.
+    staleness_decay: str | None = None
+    buffer_goal: int | None = None
     method_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -177,6 +187,18 @@ class ExperimentSpec:
             )
         if self.selection_fraction is not None:
             validate_fraction(self.selection_fraction, "selection_fraction")
+        if self.eval_time_every is not None:
+            validate_positive(self.eval_time_every, "eval_time_every")
+        if (
+            self.staleness_decay is not None
+            and self.staleness_decay not in STALENESS_DECAYS
+        ):
+            raise ValueError(
+                f"staleness_decay must be one of {STALENESS_DECAYS}, "
+                f"got {self.staleness_decay!r}"
+            )
+        if self.buffer_goal is not None:
+            validate_positive(self.buffer_goal, "buffer_goal")
         if not isinstance(self.method_kwargs, dict):
             raise ValueError(
                 f"method_kwargs must be a dict, got {type(self.method_kwargs).__name__}"
@@ -285,13 +307,26 @@ def build_experiment(
     # memory at any fleet size (see repro.device.fleet).
     devices = make_fleet(train_set, parts, unit_times, trainer)
 
+    # Spec fields that only some method configs define are forwarded when
+    # the config class has the field, ignored otherwise — so one campaign
+    # grid over e.g. buffer_goal can include sync methods without erroring.
+    cfg_fields = {f.name for f in fields(entry.config_cls)}
+    optional = {
+        key: value
+        for key, value in (
+            ("eval_time_every", spec.eval_time_every),
+            ("staleness_decay", spec.staleness_decay),
+            ("buffer_goal", spec.buffer_goal),
+        )
+        if value is not None and key in cfg_fields
+    }
     config = entry.config_cls(
         rounds=spec.rounds,
         participation=spec.participation,
         local_epochs=spec.local_epochs,
         eval_every=spec.eval_every,
         seed=spec.seed + 6,
-        **spec.method_kwargs,
+        **{**optional, **spec.method_kwargs},
     )
     environment = make_environment(spec.env, **spec.env_kwargs)
     server = entry.server_cls(
@@ -321,6 +356,12 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
     )
     if spec.env_kwargs:
         result.config["env_kwargs"] = dict(spec.env_kwargs)
+    if spec.eval_time_every is not None:
+        result.config["eval_time_every"] = spec.eval_time_every
+    if spec.staleness_decay is not None:
+        result.config["staleness_decay"] = spec.staleness_decay
+    if spec.buffer_goal is not None:
+        result.config["buffer_goal"] = spec.buffer_goal
     if spec.selection is not None:
         result.config["selection"] = spec.selection
         result.config["selection_fraction"] = (

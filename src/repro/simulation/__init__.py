@@ -11,13 +11,21 @@ from repro.simulation.events import Event, EventQueue
 from repro.simulation.engine import RingRoundEngine, async_upload_schedule
 from repro.simulation.metrics import MetricsHistory, TransmissionMeter
 from repro.simulation.results import RunResult
+from repro.simulation.scheduler import (
+    Scheduler,
+    completed_units,
+    completed_units_array,
+)
 
 __all__ = [
     "VirtualClock",
     "Event",
     "EventQueue",
+    "Scheduler",
     "RingRoundEngine",
     "async_upload_schedule",
+    "completed_units",
+    "completed_units_array",
     "TransmissionMeter",
     "MetricsHistory",
     "RunResult",

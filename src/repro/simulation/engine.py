@@ -22,9 +22,20 @@ import numpy as np
 from repro.device.device import Device
 from repro.device.fleet import DeviceFleet
 from repro.device.network import LinkDelayModel, UniformDelay
-from repro.simulation.events import EventQueue
+from repro.simulation.scheduler import (
+    PEER_DELIVER,
+    UNIT_COMPLETE,
+    Scheduler,
+    completed_units,
+)
+from repro.utils.rng import SeedSequenceFactory
 
 __all__ = ["RingRoundEngine", "RingRoundStats", "async_upload_schedule"]
+
+#: Keyed rng stream for peer-hop message drops, disjoint from the server's
+#: streams (participant sampling uses ``(round, 1)``, ring building
+#: ``(round, 2)``, availability ``(round, 3)``, server drops ``(0, 101)``).
+_PEER_DROP_STREAM_KEY = (0, 102)
 
 
 @dataclass
@@ -102,9 +113,17 @@ class RingRoundEngine:
         self._combine = combiners[combine]
         # Failure injection: each peer hop is independently lost with
         # probability drop_prob.  A lost hop is harmless to liveness —
-        # the successor simply continues its own model (Eq. 7).
+        # the successor simply continues its own model (Eq. 7).  The rng
+        # is a SeedSequenceFactory keyed stream — the same seed discipline
+        # as the server's (0, 101) drop stream — so ring drops reproduce
+        # under the experiment seed like every other stochastic component.
+        # ``drop_seed`` keeps its name and place in the signature (the
+        # compat shim: existing call sites and golden regeneration stay
+        # deterministic without edits).
         self.drop_prob = drop_prob
-        self._drop_rng = np.random.default_rng(drop_seed)
+        self._drop_rng = SeedSequenceFactory(drop_seed).generator(
+            *_PEER_DROP_STREAM_KEY
+        )
         self.dropped_sends = 0
 
     def run_round(
@@ -148,7 +167,10 @@ class RingRoundEngine:
         units_budget: dict[int, int] = {}
         unit_start_model: dict[int, np.ndarray] = {}
 
-        queue = EventQueue()
+        # A fresh Scheduler per round: round-relative virtual time starts
+        # at zero, and the (time, insertion) total order of the shared
+        # runtime is exactly the discipline this loop always relied on.
+        sched = Scheduler()
         for dev_id in participants:
             dev = by_id[dev_id]
             if isinstance(global_weights, dict):
@@ -156,25 +178,22 @@ class RingRoundEngine:
             else:
                 dev.reset_buffer(global_weights)
             # floor(duration / t_i) units, minimum one (Alg 1 line 11).
-            budget = max(1, int(duration / dev.unit_time + 1e-9))
-            units_budget[dev_id] = budget
+            units_budget[dev_id] = completed_units(duration, dev.unit_time)
             unit_start_model[dev_id] = dev.buffer[-1]
             dev.buffer.clear()  # engine owns the "arrived mid-unit" queue
-            queue.push(dev.unit_time, "complete", dev_id)
+            sched.at(dev.unit_time, UNIT_COMPLETE, dev_id)
 
         peer_sends = 0
-        end_time = 0.0
-        while queue:
+        while sched:
             # Drain every event sharing the earliest timestamp as one batch:
             # with zero link delay a model completed at time t must be
             # available to the unit its successor *starts* at time t — the
             # lockstep rotation of Algorithm 1's synchronous loop.
-            now = queue.peek().time
-            end_time = max(end_time, now)
+            batch = sched.next_batch()
+            now = sched.now
             completed: list[int] = []
-            while queue and queue.peek().time == now:
-                ev = queue.pop()
-                if ev.kind == "deliver":
+            for ev in batch:
+                if ev.kind == PEER_DELIVER:
                     dst, weights = ev.payload
                     by_id[dst].receive(weights)
                 else:
@@ -201,7 +220,7 @@ class RingRoundEngine:
                         if delay == 0.0:
                             instant.append((succ, trained))
                         else:
-                            queue.push(now + delay, "deliver", (succ, trained))
+                            sched.at(now + delay, PEER_DELIVER, (succ, trained))
 
             # Phase 2: zero-delay hops land before anyone starts a new unit.
             for dst, weights in instant:
@@ -215,10 +234,10 @@ class RingRoundEngine:
                     nxt = dev.buffer[-1] if dev.buffer else dev.weights
                     dev.buffer.clear()
                     unit_start_model[dev_id] = nxt
-                    queue.push(now + dev.unit_time, "complete", dev_id)
+                    sched.at(now + dev.unit_time, UNIT_COMPLETE, dev_id)
 
         return RingRoundStats(
-            units_completed=units_done, peer_sends=peer_sends, end_time=end_time
+            units_completed=units_done, peer_sends=peer_sends, end_time=sched.now
         )
 
 
@@ -246,7 +265,7 @@ def async_upload_schedule(
     for dev_id, t in items:
         if t <= 0:
             raise ValueError(f"unit time for device {dev_id} must be positive")
-        k_max = max(1, int(horizon / t + 1e-9))
+        k_max = completed_units(horizon, t)
         schedule.extend((k * t, dev_id) for k in range(1, k_max + 1))
     schedule.sort(key=lambda pair: (pair[0], pair[1]))
     return schedule

@@ -16,12 +16,17 @@ __all__ = ["Event", "EventQueue"]
 
 @dataclass(order=True)
 class Event:
-    """A scheduled occurrence: compare by (time, seq)."""
+    """A scheduled occurrence: compare by (time, seq).
+
+    ``cancelled`` supports O(1) revocation: the scheduler marks the event
+    dead in place and skips it on pop instead of re-heapifying.
+    """
 
     time: float
     seq: int
     kind: str = field(compare=False)
     payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
 
 
 class EventQueue:

@@ -64,13 +64,25 @@ class TransmissionMeter:
 
 @dataclass
 class MetricsHistory:
-    """Per-round records of one training run."""
+    """Per-round records of one training run, plus virtual-time checkpoints.
+
+    Two eval processes coexist: the round-indexed series (``rounds`` /
+    ``times`` / ...) sampled every ``eval_every`` rounds or aggregations,
+    and the *time-indexed* checkpoint series sampled every
+    ``eval_time_every`` units of virtual time by the scheduler's
+    ``eval_checkpoint`` events — the paper's real quantity of interest
+    (time-to-accuracy) measured directly rather than read off round ends.
+    """
 
     rounds: list[int] = field(default_factory=list)
     times: list[float] = field(default_factory=list)
     server_transfers: list[float] = field(default_factory=list)
     accuracies: list[float] = field(default_factory=list)
     losses: list[float] = field(default_factory=list)
+    checkpoint_times: list[float] = field(default_factory=list)
+    checkpoint_transfers: list[float] = field(default_factory=list)
+    checkpoint_accuracies: list[float] = field(default_factory=list)
+    checkpoint_losses: list[float] = field(default_factory=list)
 
     def record(
         self,
@@ -89,6 +101,29 @@ class MetricsHistory:
         self.server_transfers.append(server_transfers)
         self.accuracies.append(accuracy)
         self.losses.append(loss)
+
+    def record_time_checkpoint(
+        self,
+        time: float,
+        server_transfers: float,
+        accuracy: float,
+        loss: float = float("nan"),
+    ) -> None:
+        """One ``eval_checkpoint`` event: the deployed model's metrics at a
+        nominal virtual time.  Checkpoint times are non-decreasing (equal
+        times are legal — several checkpoints can mature inside one
+        synchronous round's clock jump and share its evaluation)."""
+        if self.checkpoint_times and time < self.checkpoint_times[-1]:
+            raise ValueError("checkpoint times must be non-decreasing")
+        if (
+            self.checkpoint_transfers
+            and server_transfers < self.checkpoint_transfers[-1]
+        ):
+            raise ValueError("cumulative transfers cannot decrease")
+        self.checkpoint_times.append(time)
+        self.checkpoint_transfers.append(server_transfers)
+        self.checkpoint_accuracies.append(accuracy)
+        self.checkpoint_losses.append(loss)
 
     @property
     def final_accuracy(self) -> float:
@@ -116,6 +151,26 @@ class MetricsHistory:
                 return t
         return None
 
+    def time_to_target(self, target: float) -> float | None:
+        """Earliest virtual time at which ``target`` accuracy is recorded.
+
+        The time-to-accuracy metric: both eval processes are consulted —
+        the round-indexed series and the time-indexed checkpoints — and
+        the earlier hit wins (each series is time-sorted, so the first hit
+        per series suffices).  None when the run never got there.
+        """
+        best: float | None = None
+        for t, a in zip(self.times, self.accuracies):
+            if a >= target:
+                best = t
+                break
+        for t, a in zip(self.checkpoint_times, self.checkpoint_accuracies):
+            if a >= target:
+                if best is None or t < best:
+                    best = t
+                break
+        return best
+
     def relative_cost_to_target(self, target: float, per_round_unit: float) -> float | None:
         """Table 1's metric: transfers-to-target / transfers-per-FedAvg-round."""
         if per_round_unit <= 0:
@@ -131,18 +186,34 @@ class MetricsHistory:
             "server_transfers": list(self.server_transfers),
             "accuracies": list(self.accuracies),
             "losses": list(self.losses),
+            "checkpoint_times": list(self.checkpoint_times),
+            "checkpoint_transfers": list(self.checkpoint_transfers),
+            "checkpoint_accuracies": list(self.checkpoint_accuracies),
+            "checkpoint_losses": list(self.checkpoint_losses),
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, list]) -> "MetricsHistory":
         """Inverse of :meth:`to_dict` — bypasses :meth:`record` validation
-        since the series were validated when first recorded."""
+        since the series were validated when first recorded.  Checkpoint
+        series default to empty for payloads written before they existed
+        (old campaign caches, pre-refactor goldens)."""
         history = cls()
         history.rounds = [int(r) for r in data["rounds"]]
         history.times = [float(t) for t in data["times"]]
         history.server_transfers = [float(t) for t in data["server_transfers"]]
         history.accuracies = [float(a) for a in data["accuracies"]]
         history.losses = [float(l) for l in data["losses"]]
+        history.checkpoint_times = [float(t) for t in data.get("checkpoint_times", [])]
+        history.checkpoint_transfers = [
+            float(t) for t in data.get("checkpoint_transfers", [])
+        ]
+        history.checkpoint_accuracies = [
+            float(a) for a in data.get("checkpoint_accuracies", [])
+        ]
+        history.checkpoint_losses = [
+            float(l) for l in data.get("checkpoint_losses", [])
+        ]
         return history
 
     def as_arrays(self) -> dict[str, np.ndarray]:
@@ -152,4 +223,8 @@ class MetricsHistory:
             "server_transfers": np.asarray(self.server_transfers),
             "accuracies": np.asarray(self.accuracies),
             "losses": np.asarray(self.losses),
+            "checkpoint_times": np.asarray(self.checkpoint_times),
+            "checkpoint_transfers": np.asarray(self.checkpoint_transfers),
+            "checkpoint_accuracies": np.asarray(self.checkpoint_accuracies),
+            "checkpoint_losses": np.asarray(self.checkpoint_losses),
         }

@@ -40,6 +40,12 @@ class RunResult:
         """Relative transmission cost to reach ``target`` (Table 1 cells)."""
         return self.history.relative_cost_to_target(target, self.per_round_unit)
 
+    def time_to_target(self, target: float) -> float | None:
+        """Virtual time to first reach ``target`` accuracy — the
+        time-to-accuracy companion of :meth:`cost_to_target`, fed by both
+        the round-end evals and the scheduler's time-indexed checkpoints."""
+        return self.history.time_to_target(target)
+
     def table_cell(self, target: float) -> str:
         """Render the Table 1 cell: "cost(final%)" with X for unreached."""
         cost = self.cost_to_target(target)
@@ -82,6 +88,9 @@ class RunResult:
             "best_accuracy": self.best_accuracy,
             "total_server_transfers": (
                 self.history.server_transfers[-1] if self.history.server_transfers else 0.0
+            ),
+            "total_virtual_time": (
+                self.history.times[-1] if self.history.times else 0.0
             ),
             "rounds": len(self.history.rounds),
         }

@@ -38,12 +38,14 @@ GOLDEN_SPEC = dict(
     seed=0,
 )
 
-METHOD_KWARGS = {"fedhisyn": {"num_classes": 3}}
+#: fedbuff's buffer goal is shrunk so its K-sized flushes actually cycle
+#: several times inside the tiny golden run.
+METHOD_KWARGS = {"fedhisyn": {"num_classes": 3}, "fedbuff": {"buffer_goal": 2}}
 
 
 def main() -> None:
     for method in ("fedavg", "fedprox", "scaffold", "tfedavg", "tafedavg",
-                   "fedat", "fedhisyn"):
+                   "fedat", "fedhisyn", "fedasync", "fedbuff"):
         spec = ExperimentSpec(
             method=method,
             method_kwargs=METHOD_KWARGS.get(method, {}),

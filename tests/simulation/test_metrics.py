@@ -95,3 +95,65 @@ class TestMetricsHistory:
         arrays = self.make_history().as_arrays()
         np.testing.assert_array_equal(arrays["rounds"], [1, 2, 3, 4])
         assert arrays["accuracies"].dtype == np.float64
+
+
+class TestTimeCheckpoints:
+    def make_history(self):
+        h = MetricsHistory()
+        h.record(1, 2.0, 10.0, 0.4)
+        h.record(2, 4.0, 20.0, 0.7)
+        h.record_time_checkpoint(0.5, 5.0, 0.2)
+        h.record_time_checkpoint(1.5, 5.0, 0.55)
+        h.record_time_checkpoint(3.0, 15.0, 0.6)
+        return h
+
+    def test_checkpoint_series_recorded(self):
+        h = self.make_history()
+        assert h.checkpoint_times == [0.5, 1.5, 3.0]
+        assert h.checkpoint_accuracies == [0.2, 0.55, 0.6]
+
+    def test_equal_checkpoint_times_allowed(self):
+        """Several checkpoints can mature inside one synchronous round's
+        clock jump and share its evaluation time."""
+        h = MetricsHistory()
+        h.record_time_checkpoint(1.0, 1.0, 0.1)
+        h.record_time_checkpoint(1.0, 1.0, 0.1)
+        assert h.checkpoint_times == [1.0, 1.0]
+
+    def test_decreasing_checkpoint_time_raises(self):
+        h = self.make_history()
+        with pytest.raises(ValueError):
+            h.record_time_checkpoint(2.0, 20.0, 0.8)
+
+    def test_decreasing_checkpoint_transfers_raises(self):
+        h = self.make_history()
+        with pytest.raises(ValueError):
+            h.record_time_checkpoint(5.0, 1.0, 0.8)
+
+    def test_time_to_target_merges_both_series(self):
+        h = self.make_history()
+        # 0.55 first appears in the checkpoint series at t=1.5, earlier
+        # than the round series' 0.7 at t=4.0.
+        assert h.time_to_target(0.5) == 1.5
+        # 0.65 is only ever reached by the round series (t=4.0).
+        assert h.time_to_target(0.65) == 4.0
+        assert h.time_to_target(0.95) is None
+
+    def test_time_to_target_empty_history(self):
+        assert MetricsHistory().time_to_target(0.1) is None
+
+    def test_round_trip_preserves_checkpoints(self):
+        h = self.make_history()
+        restored = MetricsHistory.from_dict(h.to_dict())
+        assert restored.to_dict() == h.to_dict()
+
+    def test_from_dict_tolerates_legacy_payloads(self):
+        """Payloads written before the checkpoint series existed (old
+        campaign caches, pre-refactor goldens) must still load."""
+        d = self.make_history().to_dict()
+        for key in list(d):
+            if key.startswith("checkpoint_"):
+                del d[key]
+        restored = MetricsHistory.from_dict(d)
+        assert restored.checkpoint_times == []
+        assert restored.rounds == [1, 2]

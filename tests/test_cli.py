@@ -257,3 +257,45 @@ class TestFleetProfileFlags:
                    "--cache-dir", str(tmp_path)])
         assert rc == 0
         assert '"final_mean"' in capsys.readouterr().out
+
+
+class TestAsyncFlags:
+    def test_async_args_reach_spec(self):
+        args = build_parser().parse_args(
+            ["run", "--method", "fedbuff", "--buffer-goal", "4",
+             "--staleness-decay", "hinge", "--eval-time-every", "0.5"]
+        )
+        spec = spec_from_args(args, method="fedbuff")
+        assert spec.buffer_goal == 4
+        assert spec.staleness_decay == "hinge"
+        assert spec.eval_time_every == 0.5
+
+    def test_bad_decay_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--staleness-decay", "bogus"])
+
+    def test_run_fedasync(self, capsys):
+        rc = main(["run", "--method", "fedasync", *COMMON, "--quiet"])
+        assert rc == 0
+        assert "fedasync: final accuracy" in capsys.readouterr().out
+
+    def test_run_fedbuff_json_reports_time_to_target(self, capsys):
+        rc = main(["run", "--method", "fedbuff", *COMMON, "--buffer-goal", "2",
+                   "--json", "--target", "0.2"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "fedbuff"
+        assert "time_to_target" in payload
+        assert "checkpoint_times" in payload["history"]
+
+    def test_async_methods_listed(self, capsys):
+        main(["list", "methods"])
+        out = capsys.readouterr().out
+        assert "fedasync" in out and "fedbuff" in out
+
+    def test_sweep_buffer_goal_grid(self, capsys):
+        rc = main(["sweep", "--method", "fedbuff", "--seeds", "0",
+                   *COMMON, "--grid", "buffer_goal=2,3", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 runs" in out and "buffer_goal" in out
