@@ -30,6 +30,14 @@ path it replaced, :mod:`benchmarks.perf.legacy_fleet`):
 * ``fedavg_round_e2e`` — the same pair with *real* local training, the
   honest end-to-end round number (training dominates, so the speedup is
   modest by construction).
+
+Compression layer (trajectory numbers; the codecs are new):
+
+* ``codec_encode`` — encode+decode round-trip throughput of the lossy
+  codecs (top-k with error feedback, QSGD) on a model-sized vector.
+* ``codec_bytes_ratio`` — a small FedAvg run under the ``wan`` preset,
+  dense vs top-k at 10%: per-round wall time of the compressed run plus
+  the exact on-wire byte ratio the codec layer buys.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from benchmarks.perf.legacy_fleet import (
     legacy_make_devices,
 )
 from repro.baselines.fedavg import FedAvgConfig, FedAvgServer
+from repro.compression import QSGDCodec, TopKCodec
 from repro.core.aggregation import sample_weighted_average, uniform_average
 from repro.datasets.core import train_test_split
 from repro.datasets.partition import partition_by_name
@@ -61,7 +70,7 @@ from repro.device.heterogeneity import sample_unit_counts, unit_times_from_count
 from repro.env.availability import CapacityCorrelatedAvailability
 from repro.env.environment import Environment
 from repro.env.network import SampledNetwork
-from repro.experiments import ExperimentSpec, build_experiment
+from repro.experiments import ExperimentSpec, build_experiment, run_experiment
 from repro.nn.models import paper_mlp
 from repro.nn.serialization import get_flat_params, set_flat_params
 from repro.simulation.scheduler import UNIT_COMPLETE, Scheduler
@@ -502,6 +511,84 @@ def _bench_scheduler_events(scale: PerfScale) -> dict:
     }
 
 
+def _bench_codec_encode(scale: PerfScale) -> dict:
+    """Lossy-codec round-trip throughput on a model-sized vector.
+
+    One encode+decode per iteration against a fixed reference, so top-k
+    exercises its error-feedback residual update and QSGD its stochastic
+    rounding draw — the exact per-transfer work the channel adds.
+    """
+    model = paper_mlp(
+        scale.feature_dim, scale.num_classes, seed=0, hidden=scale.hidden
+    )
+    dim = model.dim
+    rng = np.random.default_rng(6)
+    ref = rng.normal(size=dim)
+    vec = ref + 0.01 * rng.normal(size=dim)
+    iters = 50
+
+    def roundtrip_s(codec) -> float:
+        def run() -> None:
+            for _ in range(iters):
+                codec.decode(codec.encode(vec, key=0, reference=ref))
+
+        return _best_of(run, scale.repeats) / iters
+
+    topk_s = roundtrip_s(TopKCodec(fraction=0.1))
+    qsgd_s = roundtrip_s(QSGDCodec(bits=4, seed=0))
+    return {
+        "after_s": topk_s,
+        "detail": {
+            "dim": dim,
+            "topk_roundtrip_s": topk_s,
+            "qsgd_roundtrip_s": qsgd_s,
+            "topk_coords_per_s": round(dim / topk_s, 1),
+            "qsgd_coords_per_s": round(dim / qsgd_s, 1),
+        },
+    }
+
+
+def _bench_codec_bytes_ratio(scale: PerfScale) -> dict:
+    """Dense vs top-k FedAvg under the ``wan`` preset.
+
+    Times the compressed end-to-end run (per round) and reports the
+    on-wire byte ratio between the two — the headline number the codec
+    layer exists to buy.  Lossless accounting on both sides: raw bytes
+    must match, only the wire representation differs.
+    """
+    base = dict(
+        method="fedavg",
+        dataset="mnist_like",
+        num_samples=scale.round_samples,
+        num_devices=scale.round_devices,
+        rounds=scale.rounds,
+        seed=0,
+        env="wan",
+    )
+    dense_spec = ExperimentSpec(**base)
+    topk_spec = ExperimentSpec(
+        **base, codec="topk", codec_kwargs={"fraction": 0.1}
+    )
+    dense = run_experiment(dense_spec)
+    topk = run_experiment(topk_spec)
+    assert topk.transport["raw_bytes"] == dense.transport["raw_bytes"]
+    ratio = dense.transport["wire_bytes"] / topk.transport["wire_bytes"]
+
+    total = _best_of(
+        lambda: run_experiment(topk_spec), max(1, scale.repeats // 5)
+    )
+    return {
+        "after_s": total / scale.rounds,
+        "detail": {
+            "rounds": scale.rounds,
+            "devices": scale.round_devices,
+            "bytes_ratio": round(ratio, 2),
+            "dense_wire_bytes": int(dense.transport["wire_bytes"]),
+            "topk_wire_bytes": int(topk.transport["wire_bytes"]),
+        },
+    }
+
+
 def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
     """Run every benchmark at ``scale_name``; returns the JSON-ready report."""
     scale = SCALES[scale_name]
@@ -519,6 +606,8 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "fleet_round": _bench_fleet_round(scale),
         "fedavg_round_e2e": _bench_fedavg_e2e(scale),
         "scheduler_events": _bench_scheduler_events(scale),
+        "codec_encode": _bench_codec_encode(scale),
+        "codec_bytes_ratio": _bench_codec_bytes_ratio(scale),
     }
     return {
         "schema": 1,

@@ -20,6 +20,9 @@ Package layout (see DESIGN.md for the full inventory):
 - :mod:`repro.device` — device model, heterogeneity, link delays.
 - :mod:`repro.env` — pluggable environments: network latency/bandwidth,
   message loss, device availability, named presets (``ideal`` … ``wan``).
+- :mod:`repro.compression` — update codecs (top-k sparsification with
+  error feedback, QSGD quantization, delta encoding) on the channel API,
+  with exact on-wire byte accounting.
 - :mod:`repro.simulation` — the discrete-event scheduler (virtual clock
   + event queue) every method runs on, ring engine, transmission
   metering, time-to-accuracy histories.
@@ -33,6 +36,7 @@ Methods self-register via :func:`repro.core.registry.register_method`;
 """
 
 from repro.campaign import Campaign, CampaignResult, sweep
+from repro.compression import UpdateCodec, available_codecs, make_codec, register_codec
 from repro.core.fedhisyn import FedHiSynConfig, FedHiSynServer
 from repro.core.registry import register_method
 from repro.env import Environment, make_environment, register_environment
@@ -55,6 +59,10 @@ __all__ = [
     "Environment",
     "make_environment",
     "register_environment",
+    "UpdateCodec",
+    "make_codec",
+    "register_codec",
+    "available_codecs",
     "sweep",
     "Campaign",
     "CampaignResult",

@@ -141,21 +141,26 @@ class FedATServer(FederatedServer):
         unit_counter = {d.device_id: 0 for d in participants}
         for _time, tier_idx in schedule:
             members = members_by_tier[tier_idx]
-            # Tier-synchronous FedAvg round from the current global model.
-            receivers = self.broadcast(members, ensure_one=False)
+            # Tier-synchronous FedAvg round from the current global model
+            # (the decoded broadcast view when a codec is active).
+            receivers, tier_view = self.broadcast_model(
+                members, current, ensure_one=False
+            )
             if not receivers:
                 continue  # every pull lost: the tier idles this slot
             stack = np.empty((len(receivers), self.trainer.dim))
             for i, dev in enumerate(receivers):
                 dev.run_unit(
-                    current,
+                    tier_view,
                     cfg.local_epochs,
                     round_idx,
                     unit_counter[dev.device_id],
                     out=stack[i],
                 )
                 unit_counter[dev.device_id] += 1
-            arrived = self.collect(receivers, ensure_one=False)
+            arrived, stack = self.collect_models(
+                receivers, stack, reference=tier_view, ensure_one=False
+            )
             if not arrived:
                 continue  # every upload lost: no tier model this slot
             counts = self.counts_of(receivers)

@@ -5,7 +5,8 @@ weights at regular intervals (one round = the slowest participant's unit
 time), so a fast device fits several local-training units into the round
 while a slow one fits exactly one — "devices with more computing power are
 able to do more rounds of local training" (Section 6.1).  Aggregation is
-the classic sample-count weighting (Eq. 3).
+the classic sample-count weighting (Eq. 3) by default; the ``aggregator``
+config swaps in the robust rules from :mod:`repro.core.aggregation`.
 """
 
 from __future__ import annotations
@@ -14,7 +15,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.aggregation import sample_weighted_average
+from repro.core.aggregation import (
+    AGGREGATORS,
+    coordinate_median,
+    sample_weighted_average,
+    trimmed_mean,
+    uniform_average,
+)
 from repro.core.registry import register_method
 from repro.core.server import FederatedServer, ServerConfig
 from repro.device.device import Device
@@ -24,7 +31,20 @@ __all__ = ["FedAvgConfig", "FedAvgServer"]
 
 @dataclass
 class FedAvgConfig(ServerConfig):
-    """FedAvg has no extra hyper-parameters beyond the shared ones."""
+    """FedAvg's only knob beyond the shared ones is the aggregation rule."""
+
+    #: One of :data:`repro.core.aggregation.AGGREGATORS`; "sample" is the
+    #: paper's Eq. 3 weighting, "median"/"trimmed_mean" the robust rules.
+    aggregator: str = "sample"
+    #: Per-tail trim fraction when ``aggregator="trimmed_mean"``.
+    trim_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {AGGREGATORS}, got {self.aggregator!r}"
+            )
 
 
 @register_method(
@@ -35,6 +55,17 @@ class FedAvgConfig(ServerConfig):
 class FedAvgServer(FederatedServer):
     method = "fedavg"
 
+    def aggregate_stack(self, stack: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Apply the configured aggregation rule to the arrived stack."""
+        agg = getattr(self.config, "aggregator", "sample")
+        if agg == "uniform":
+            return uniform_average(stack)
+        if agg == "median":
+            return coordinate_median(stack)
+        if agg == "trimmed_mean":
+            return trimmed_mean(stack, getattr(self.config, "trim_fraction", 0.1))
+        return sample_weighted_average(stack, counts)
+
     def run_round(
         self,
         round_idx: int,
@@ -42,16 +73,18 @@ class FedAvgServer(FederatedServer):
         global_weights: np.ndarray,
     ) -> np.ndarray:
         duration = self.round_duration(participants)
-        receivers = self.broadcast(participants)
+        # ``view`` is the model devices actually receive — global_weights
+        # itself under the identity codec, the decoded broadcast otherwise.
+        receivers, view = self.broadcast_model(participants, global_weights)
         epochs = self.epochs_for(receivers, duration)
         # In recycled-fleet mode these rows double as the devices' weight
         # rows: each unit trains straight into fleet state, no per-device
         # result copy, and the stack feeds aggregation as-is.
         stack = self.round_rows(receivers)
         self.train_round(stack=stack, receivers=receivers, epochs=epochs,
-                         round_idx=round_idx, global_weights=global_weights)
-        arrived = self.collect(receivers)
+                         round_idx=round_idx, global_weights=view)
+        arrived, stack = self.collect_models(receivers, stack, reference=view)
         self.clock.advance_by(duration)
         counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)
-        return sample_weighted_average(stack, counts)
+        return self.aggregate_stack(stack, counts)

@@ -49,13 +49,15 @@ class FedProxServer(FedAvgServer):
     ) -> np.ndarray:
         cfg: FedProxConfig = self.config  # type: ignore[assignment]
         duration = self.round_duration(participants)
-        receivers = self.broadcast(participants)
+        receivers, view = self.broadcast_model(participants, global_weights)
         epochs = self.epochs_for(receivers, duration)
         stack = self.round_rows(receivers)
+        # The proximal anchor is the model devices received — the decoded
+        # broadcast under a lossy codec, global_weights itself otherwise.
         self.train_round(stack=stack, receivers=receivers, epochs=epochs,
-                         round_idx=round_idx, global_weights=global_weights,
-                         anchor=global_weights, mu=cfg.mu)
-        arrived = self.collect(receivers)
+                         round_idx=round_idx, global_weights=view,
+                         anchor=view, mu=cfg.mu)
+        arrived, stack = self.collect_models(receivers, stack, reference=view)
         self.clock.advance_by(duration)
         counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)

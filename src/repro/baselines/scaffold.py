@@ -76,7 +76,11 @@ class ScaffoldServer(FederatedServer):
         eta = self.trainer.lr
 
         # Broadcast model + server variate: 2 model units per participant.
-        receivers = self.broadcast(participants, model_units=2.0)
+        # Only the model goes through the codec; the variate rides along
+        # dense as one extra unit (server state, not a model update).
+        receivers, view = self.broadcast_model(
+            participants, global_weights, extra_units=1.0
+        )
 
         # Per-device updates are staged and only summed for the uploads
         # that reach the server; a device whose upload is lost still keeps
@@ -86,13 +90,12 @@ class ScaffoldServer(FederatedServer):
         rows = self.round_rows(receivers)
         live = self.rows_live  # trained rows already are device state
         epochs = self.epochs_for(receivers, duration)
-        model_deltas: list[np.ndarray] = []
         variate_deltas: list[np.ndarray] = []
         for i, dev in enumerate(receivers):
             c_i = self.device_variates[dev.device_id]
             correction = np.subtract(self.server_variate, c_i, out=self._correction)
             y_i, steps = self.trainer.train(
-                global_weights,
+                view,
                 dev.shard,
                 int(epochs[i]),
                 stream_key=(dev.device_id, round_idx, 0),
@@ -101,19 +104,20 @@ class ScaffoldServer(FederatedServer):
             )
             if not live:
                 dev.weights = y_i
-            # Option II variate refresh.
-            c_plus = c_i - self.server_variate + (global_weights - y_i) / (steps * eta)
-            model_deltas.append(y_i - global_weights)
+            # Option II variate refresh, anchored on the received model.
+            c_plus = c_i - self.server_variate + (view - y_i) / (steps * eta)
             variate_deltas.append(c_plus - c_i)
             self.device_variates.set(dev.device_id, c_plus)
 
-        arrived = self.collect(receivers, model_units=2.0)
+        arrived, decoded = self.collect_models(
+            receivers, rows, reference=view, extra_units=1.0
+        )
         self.clock.advance_by(duration)
 
         delta_model = np.zeros_like(global_weights)
         delta_variate = np.zeros_like(self.server_variate)
         for i in arrived:
-            delta_model += model_deltas[i]
+            delta_model += decoded[i] - view
             delta_variate += variate_deltas[i]
         s = len(arrived)
         new_global = global_weights + cfg.global_lr * delta_model / s

@@ -71,11 +71,12 @@ class TAFedAvgServer(FederatedServer):
 
         # Round start: every participant pulls the current global model; a
         # device whose pull is lost keeps training its previous weights.
-        receivers = self.broadcast(participants)
-        views = self.start_views(participants, receivers, global_weights)
+        # Under a codec the pull delivers the decoded broadcast view.
+        receivers, view0 = self.broadcast_model(participants, global_weights)
+        views = self.start_views(participants, receivers, view0)
         local_view: dict[int, np.ndarray] = (
             views if isinstance(views, dict)
-            else {d.device_id: global_weights for d in participants}
+            else {d.device_id: view0 for d in participants}
         )
         unit_counter: dict[int, int] = {d.device_id: 0 for d in participants}
         # Server version counter for staleness: the version each device's
@@ -96,18 +97,23 @@ class TAFedAvgServer(FederatedServer):
                 unit_counter[dev_id],
             )
             unit_counter[dev_id] += 1
-            if not self.collect([dev], ensure_one=False):
+            arrived, uploaded = self.collect_models(
+                [dev], trained.reshape(1, -1),
+                reference=local_view[dev_id], ensure_one=False,
+            )
+            if not arrived:
                 continue  # upload lost: the global model never sees it
             rate = cfg.alpha
             if cfg.staleness_exponent > 0:
                 staleness = version - view_version[dev_id]
                 rate = cfg.alpha * (1.0 + staleness) ** -cfg.staleness_exponent
-            current = (1.0 - rate) * current + rate * trained
+            current = (1.0 - rate) * current + rate * uploaded[0]
             version += 1
             # Server replies with the fresh global; device trains it next
             # (a lost reply leaves the device on its stale view).
-            if self.broadcast([dev], ensure_one=False):
-                local_view[dev_id] = current
+            delivered, reply = self.broadcast_model([dev], current, ensure_one=False)
+            if delivered:
+                local_view[dev_id] = reply
                 view_version[dev_id] = version
 
         self.clock.advance_by(duration)

@@ -40,12 +40,12 @@ class TFedAvgServer(FederatedServer):
         global_weights: np.ndarray,
     ) -> np.ndarray:
         duration = self.round_duration(participants)  # wait for the straggler
-        receivers = self.broadcast(participants)
+        receivers, view = self.broadcast_model(participants, global_weights)
         stack = self.round_rows(receivers)
         epochs = np.full(len(receivers), self.config.local_epochs)
         self.train_round(stack=stack, receivers=receivers, epochs=epochs,
-                         round_idx=round_idx, global_weights=global_weights)
-        arrived = self.collect(receivers)
+                         round_idx=round_idx, global_weights=view)
+        arrived, stack = self.collect_models(receivers, stack, reference=view)
         self.clock.advance_by(duration)
         counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)

@@ -69,6 +69,7 @@ def sweep(
     base_spec: ExperimentSpec,
     grid: Mapping[str, Iterable[Any]],
     method_kwargs: Mapping[str, dict[str, Any]] | None = None,
+    codec_kwargs: Mapping[str, dict[str, Any]] | None = None,
 ) -> list[ExperimentSpec]:
     """Expand a Cartesian grid of field overrides into concrete specs.
 
@@ -76,7 +77,9 @@ def sweep(
     product is enumerated in the given key order (last key fastest).
     ``method_kwargs`` optionally maps a method name to extra kwargs merged
     into each matching spec's ``method_kwargs`` — the way FedHiSyn gets its
-    ``num_classes`` while the baselines take none.
+    ``num_classes`` while the baselines take none.  ``codec_kwargs`` does
+    the same per codec name, so ``--grid codec=none,topk`` can carry a
+    top-k fraction that only lands on the topk cells.
 
     Every expanded spec re-runs ``__post_init__`` validation, so an invalid
     grid value fails here rather than mid-campaign.
@@ -93,6 +96,7 @@ def sweep(
         if not values:
             raise ValueError(f"grid axis {name!r} is empty")
     method_kwargs = dict(method_kwargs or {})
+    codec_kwargs = dict(codec_kwargs or {})
 
     specs: list[ExperimentSpec] = []
     for combo in itertools.product(*value_lists):
@@ -104,9 +108,17 @@ def sweep(
         if "method" in names and "method_kwargs" not in names:
             if merged["method"] != base_spec.method:
                 merged["method_kwargs"] = {}
+        # Same for codec kwargs: a topk fraction makes no sense on the
+        # "none" cell of a --grid codec=none,topk axis.
+        if "codec" in names and "codec_kwargs" not in names:
+            if merged["codec"] != base_spec.codec:
+                merged["codec_kwargs"] = {}
         extra = method_kwargs.get(merged["method"])
         if extra:
             merged["method_kwargs"] = {**merged["method_kwargs"], **extra}
+        extra_codec = codec_kwargs.get(merged["codec"])
+        if extra_codec:
+            merged["codec_kwargs"] = {**merged["codec_kwargs"], **extra_codec}
         specs.append(ExperimentSpec.from_dict(merged))
     return specs
 
@@ -270,17 +282,20 @@ class CampaignResult:
         ``method_kwargs`` only counts as varying when it differs *within* a
         method — across methods it just mirrors the ``method`` column
         (FedHiSyn takes ``num_classes``, the baselines take nothing).
+        ``codec_kwargs`` gets the same treatment per codec.
         """
         names = [f.name for f in fields(ExperimentSpec) if f.name != "seed"]
+        kwargs_of = {"method_kwargs": "method", "codec_kwargs": "codec"}
         varying = []
         for name in names:
             entries = self.entries
-            if name == "method_kwargs":
-                by_method: dict[str, set[str]] = {}
+            if name in kwargs_of:
+                owner = kwargs_of[name]
+                by_owner: dict[str, set[str]] = {}
                 for e in entries:
-                    key = json.dumps(e.spec.method_kwargs, sort_keys=True, default=str)
-                    by_method.setdefault(e.spec.method, set()).add(key)
-                if any(len(v) > 1 for v in by_method.values()):
+                    key = json.dumps(getattr(e.spec, name), sort_keys=True, default=str)
+                    by_owner.setdefault(getattr(e.spec, owner), set()).add(key)
+                if any(len(v) > 1 for v in by_owner.values()):
                     varying.append(name)
                 continue
             values = {
@@ -320,11 +335,23 @@ class CampaignResult:
             row["final_std"] = _std(finals)
             row["best_mean"] = _mean(bests)
             row["best_std"] = _std(bests)
+            # On-wire traffic (exact bytes through the codec); absent from
+            # results cached before the transport snapshot existed.
+            wire = [
+                e.result.transport.get("wire_bytes")
+                for e in entries
+                if e.result.transport.get("wire_bytes") is not None
+            ]
+            row["wire_bytes_mean"] = _mean(wire) if wire else None
             if target is not None:
                 costs = [e.result.cost_to_target(target) for e in entries]
                 reached = [c for c in costs if c is not None]
                 row["cost_mean"] = _mean(reached) if reached else None
                 row["cost_reached"] = len(reached)
+                times = [e.result.time_to_target(target) for e in entries]
+                t_reached = [t for t in times if t is not None]
+                row["vtime_mean"] = _mean(t_reached) if t_reached else None
+                row["vtime_reached"] = len(t_reached)
             rows.append(row)
         return rows
 
@@ -334,15 +361,22 @@ class CampaignResult:
         """Aggregated mean±std table via :func:`repro.utils.tables.format_table`."""
         group_fields = self.varying_fields()
         rows = self.aggregate(target=target)
+        show_wire = any(row["wire_bytes_mean"] is not None for row in rows)
         headers = [*group_fields, "seeds", "final acc", "best acc"]
+        if show_wire:
+            headers.append("wire MB")
         if target is not None:
             headers.append(f"cost@{target:.0%}")
+            headers.append(f"vtime@{target:.0%}")
         table_rows = []
         for row in rows:
             cells: list[Any] = [row[name] for name in group_fields]
             cells.append(row["seeds"])
             cells.append(_pm(row["final_mean"], row["final_std"], row["seeds"]))
             cells.append(_pm(row["best_mean"], row["best_std"], row["seeds"]))
+            if show_wire:
+                mb = row["wire_bytes_mean"]
+                cells.append("?" if mb is None else f"{mb / 1e6:.2f}")
             if target is not None:
                 if row["cost_mean"] is None:
                     cells.append("X")
@@ -351,6 +385,10 @@ class CampaignResult:
                         f"{row['cost_mean']:.1f} "
                         f"({row['cost_reached']}/{row['seeds']} seeds)"
                     )
+                if row["vtime_mean"] is None:
+                    cells.append("X")
+                else:
+                    cells.append(f"{row['vtime_mean']:.2f}")
             table_rows.append(cells)
         return format_table(headers, table_rows, title=title)
 

@@ -37,6 +37,8 @@ import sys
 from typing import Any
 
 from repro.campaign import Campaign, CampaignResult, sweep
+from repro.compression import available_codecs, codec_entries
+from repro.core.aggregation import AGGREGATORS
 from repro.core.async_server import STALENESS_DECAYS
 from repro.core.registry import method_entries
 from repro.core.selection import SELECTION_POLICIES
@@ -109,6 +111,18 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
                    choices=available_environments(),
                    help="environment preset: network + availability "
                         "(default: the paper's ideal world)")
+    g.add_argument("--codec", default="none",
+                   choices=available_codecs(),
+                   help="update compression codec on every transfer "
+                        "(default: dense, the paper's semantics)")
+    g.add_argument("--topk-frac", type=float, default=None,
+                   help="topk codec: fraction of coordinates kept")
+    g.add_argument("--quant-bits", type=int, default=None,
+                   help="qsgd codec: quantization bits per coordinate")
+    g.add_argument("--aggregator", default=None,
+                   choices=sorted(AGGREGATORS),
+                   help="fedavg-family aggregation rule (default: each "
+                        "method's built-in sample weighting)")
     g.add_argument("--drop-prob", type=float, default=None,
                    help="override the preset's message-drop probability")
     g.add_argument("--availability", default=None,
@@ -175,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_p = sub.add_parser("list", help="show registered components")
     list_p.add_argument("what", nargs="?", default="all",
                         choices=["methods", "datasets", "selections", "envs",
-                                 "fleets", "all"])
+                                 "codecs", "fleets", "all"])
 
     return p
 
@@ -187,6 +201,11 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         env_kwargs["drop_prob"] = args.drop_prob
     if getattr(args, "availability", None) is not None:
         env_kwargs["availability"] = args.availability
+    # Only the kwargs matching the *selected* codec attach to the spec;
+    # the full per-codec map feeds sweep() so a --grid codec axis can
+    # carry e.g. a top-k fraction that only lands on the topk cells.
+    codec = getattr(args, "codec", "none")
+    codec_kwargs = _codec_kwargs_map(args).get(codec, {})
     # None-valued flags defer to the ExperimentSpec defaults (the same
     # passthrough --het-ratio uses), so spec defaults stay single-sourced.
     units = {
@@ -219,6 +238,9 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         selection_fraction=args.selection_fraction,
         env=args.env,
         env_kwargs=env_kwargs,
+        codec=codec,
+        codec_kwargs=codec_kwargs,
+        aggregator=getattr(args, "aggregator", None),
         fleet_profile=args.fleet_profile,
         seed=args.seed,
     )
@@ -236,6 +258,16 @@ def _method_kwargs_map(methods: list[str], args: argparse.Namespace) -> dict[str
     return {"fedhisyn": {"num_classes": args.num_classes}} if "fedhisyn" in methods else {}
 
 
+def _codec_kwargs_map(args: argparse.Namespace) -> dict[str, dict]:
+    """Per-codec constructor kwargs from CLI conveniences."""
+    out: dict[str, dict] = {}
+    if getattr(args, "topk_frac", None) is not None:
+        out["topk"] = {"fraction": args.topk_frac}
+    if getattr(args, "quant_bits", None) is not None:
+        out["qsgd"] = {"bits": args.quant_bits}
+    return out
+
+
 def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
     """``--grid field=v1,v2`` strings -> a :func:`repro.campaign.sweep` grid."""
     grid: dict[str, list[Any]] = {}
@@ -244,7 +276,10 @@ def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
         field_name = field_name.strip().replace("-", "_")
         if not eq or not field_name:
             raise ValueError(f"--grid expects FIELD=V1,V2,..., got {pair!r}")
-        values = [_convert(v.strip()) for v in raw_values.split(",") if v.strip()]
+        # "none" is a codec *name*, not a null — skip the null/bool/number
+        # coercion on the codec axis.
+        convert = str if field_name == "codec" else _convert
+        values = [convert(v.strip()) for v in raw_values.split(",") if v.strip()]
         if not values:
             raise ValueError(f"--grid axis {field_name!r} has no values")
         grid[field_name] = values
@@ -325,6 +360,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"best {result.best_accuracy:.4f}, "
           f"cost@{target:.0%} {'X' if cost is None else f'{cost:.1f}'}, "
           f"vtime@{target:.0%} {'X' if ttt is None else f'{ttt:.2f}'}")
+    if spec.codec != "none":
+        t = result.transport
+        print(f"{spec.codec}: wire {t['wire_bytes'] / 1e6:.2f} MB "
+              f"of {t['raw_bytes'] / 1e6:.2f} MB raw "
+              f"({t['compression_ratio']:.1f}x compression)")
     return 0
 
 
@@ -340,7 +380,12 @@ def _campaign_specs(args: argparse.Namespace, seeds: list[int]) -> list[Experime
         )
     grid: dict[str, list[Any]] = {"method": methods, "seed": seeds, **extra_axes}
     base = spec_from_args(args, method=methods[0])
-    return sweep(base, grid, method_kwargs=_method_kwargs_map(methods, args))
+    return sweep(
+        base,
+        grid,
+        method_kwargs=_method_kwargs_map(methods, args),
+        codec_kwargs=_codec_kwargs_map(args),
+    )
 
 
 def _run_campaign(args: argparse.Namespace, specs: list[ExperimentSpec],
@@ -421,6 +466,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         lines = ["environments:"]
         for entry in environment_entries():
             lines.append(f"  {entry.name:<13} {entry.description}")
+        sections.append("\n".join(lines))
+    if args.what in ("codecs", "all"):
+        lines = ["codecs:"]
+        for entry in codec_entries():
+            lines.append(f"  {entry.name:<8} {entry.description}")
         sections.append("\n".join(lines))
     if args.what in ("fleets", "all"):
         lines = ["fleet profiles:"]

@@ -1,0 +1,112 @@
+"""The UpdateCodec interface: what any update compressor must provide.
+
+An update codec maps a flat float64 weight vector to an
+:class:`Encoded` payload — carrying its exact on-wire byte count — and
+back.  The decode may be lossy (top-k, quantization); the channel layer
+feeds the *decoded* vector to whoever would have received the original,
+so compression error propagates into training exactly as it would in a
+real deployment.
+
+Two pieces of per-stream state make the interface richer than a pure
+function:
+
+* **reference** — most codecs compress the *difference* against a model
+  both endpoints already share (the last decoded broadcast, the round's
+  start view).  ``encode(vec, reference=ref)`` compresses ``vec - ref``;
+  ``decode`` reconstructs ``ref + delta``.  When no reference exists yet
+  (first contact on a stream) reference-based codecs fall back to a
+  dense lossless payload, which *establishes* the reference chain.
+* **key** — an opaque per-stream identity (a device id, ``"server-down"``,
+  ``("peer", dev_id)``).  Codecs with per-stream state — top-k's
+  error-feedback residual — index it by this key so independent streams
+  never share residuals.
+
+Model units: the channel meters transfers in *models* (the paper's
+Table 1 unit).  ``Encoded.model_units`` is ``nbytes / (8 * dim)`` — the
+payload's size as a fraction of one dense float64 model — so transfer
+times (``latency + units / bandwidth``) and the meter shrink by exactly
+the compression ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+import numpy as np
+
+__all__ = ["DENSE_BYTES_PER_COORD", "Encoded", "UpdateCodec"]
+
+#: A dense coordinate on the wire: one float64.
+DENSE_BYTES_PER_COORD = 8
+
+
+@dataclass
+class Encoded:
+    """One encoded update: the payload plus its exact wire size.
+
+    ``payload`` is codec-private (only the producing codec's ``decode``
+    reads it); ``dim`` is the flat model dimension; ``nbytes`` the exact
+    on-wire byte count; ``reference`` the shared vector the payload was
+    encoded against (None for self-contained payloads).
+    """
+
+    payload: Any
+    dim: int
+    nbytes: int
+    reference: np.ndarray | None = None
+
+    @property
+    def model_units(self) -> float:
+        """Wire size in dense-model units — what the channel meters."""
+        return self.nbytes / (DENSE_BYTES_PER_COORD * self.dim)
+
+
+class UpdateCodec:
+    """Base class: identity semantics hooks plus the encode/decode pair.
+
+    Subclasses set ``name`` (the registry key) and implement
+    :meth:`encode`/:meth:`decode`.  ``is_identity`` lets the channel
+    fast-path the default codec with zero overhead (and bit-identical
+    behavior); it is False for everything that actually transforms the
+    payload — including lossless sparse codecs, whose *byte counts*
+    differ even though values round-trip exactly.
+    """
+
+    name = "base"
+    is_identity = False
+    description = ""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def encode(
+        self,
+        vec: np.ndarray,
+        key: Hashable | None = None,
+        reference: np.ndarray | None = None,
+    ) -> Encoded:
+        """Compress ``vec`` (optionally against ``reference``) for stream
+        ``key``.  Must never mutate ``vec`` or ``reference``."""
+        raise NotImplementedError
+
+    def decode(self, enc: Encoded) -> np.ndarray:
+        """Reconstruct the (possibly lossy) vector the receiver sees.
+
+        The result must be safe for the receiver to keep: either a fresh
+        array or an alias of an array nobody mutates (identity payloads
+        follow the server's replace-never-mutate contract).
+        """
+        raise NotImplementedError
+
+    def dense_encode(self, vec: np.ndarray) -> Encoded:
+        """Lossless dense fallback — the no-shared-reference escape hatch."""
+        vec = np.asarray(vec, dtype=np.float64)
+        return Encoded(("dense", vec), vec.size, DENSE_BYTES_PER_COORD * vec.size)
+
+    def reset(self) -> None:
+        """Drop per-stream state (residuals, rng); a fresh-run hook."""
+
+    def describe(self) -> str:
+        """One-line summary for ``repro list codecs``."""
+        return self.description or self.name

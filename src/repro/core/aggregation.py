@@ -8,6 +8,10 @@
   (fewer ring hops per round) are not drowned out by fast ones.
 * :func:`sample_weighted_average` — Eq. (3), classic FedAvg weighting,
   used by the baselines.
+* :func:`coordinate_median` / :func:`trimmed_mean` — robust aggregators
+  (coordinate-wise): insensitive to a bounded fraction of outlier or
+  adversarial uploads, the starting point for the byzantine scenario
+  axis.  Sweepable on FedAvg via ``ExperimentSpec.aggregator``.
 
 All functions take a 2-D stack ``(num_models, dim)`` and return a flat
 vector; they are pure NumPy reductions (one pass, no copies of the stack).
@@ -18,11 +22,18 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "AGGREGATORS",
     "uniform_average",
     "sample_weighted_average",
     "class_time_weighted_average",
     "weighted_average",
+    "coordinate_median",
+    "trimmed_mean",
 ]
+
+#: Names accepted by ``ExperimentSpec.aggregator`` (FedAvg's sweepable
+#: aggregation rule); "sample" is the paper's Eq. 3 default.
+AGGREGATORS = ("sample", "uniform", "median", "trimmed_mean")
 
 
 def _check_stack(stack: np.ndarray) -> np.ndarray:
@@ -57,6 +68,34 @@ def uniform_average(stack: np.ndarray) -> np.ndarray:
 def sample_weighted_average(stack: np.ndarray, num_samples: np.ndarray) -> np.ndarray:
     """Eq. (3): weight each model by its device's sample count (FedAvg)."""
     return weighted_average(stack, np.asarray(num_samples, dtype=np.float64))
+
+
+def coordinate_median(stack: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median of the uploaded models.
+
+    Robust to up to half the uploads being arbitrary; ignores sample
+    counts (a byzantine uploader controls its own count).
+    """
+    stack = _check_stack(stack)
+    return np.median(stack, axis=0)
+
+
+def trimmed_mean(stack: np.ndarray, trim_fraction: float = 0.1) -> np.ndarray:
+    """Coordinate-wise mean after dropping the ``trim_fraction`` smallest
+    and largest values per coordinate.
+
+    ``floor(trim_fraction * n)`` models are trimmed from each tail, so a
+    small stack (nothing to trim) degrades gracefully to the plain mean.
+    """
+    stack = _check_stack(stack)
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    n = stack.shape[0]
+    cut = int(np.floor(trim_fraction * n))
+    if cut == 0:
+        return stack.mean(axis=0)
+    ordered = np.sort(stack, axis=0)
+    return ordered[cut : n - cut].mean(axis=0)
 
 
 def class_time_weighted_average(

@@ -185,30 +185,75 @@ class AsyncFederatedServer(FederatedServer):
             return list(map(self.fleet.device, np.asarray(ids).tolist()))
         return self._bernoulli_devices(rng)
 
-    def _send_down(self, dev: Device) -> float | None:
-        """Meter one server→device push; None when the message is lost,
-        else its per-link transfer latency."""
-        self.meter.record_download(1)
-        if self._drop_one():
-            return None
-        return self.env.network.transfer_time(SERVER, dev.device_id, 1.0)
+    def _send_down(self, dev: Device) -> tuple[float | None, np.ndarray | None]:
+        """Meter one server→device push of the current global model.
 
-    def _send_up(self, dev: Device) -> float | None:
-        """Meter one device→server upload; None when lost, else latency."""
-        self.meter.record_upload(1)
+        Returns ``(latency, payload)`` — ``(None, None)`` when the message
+        is lost.  ``payload`` is the model the device will receive:
+        ``global_weights`` itself under the identity codec, the decoded
+        (lossy) reconstruction otherwise.  Each device has its own
+        downlink reference chain (async pushes are per-link, not
+        population-wide), advanced only on delivery — a dropped push
+        leaves the receiver on its old reference.
+        """
+        codec = self.codec
+        if codec.is_identity:
+            self.meter.record_download(1)
+            if self._drop_one():
+                return None, None
+            return (
+                self.env.network.transfer_time(SERVER, dev.device_id, 1.0),
+                self.global_weights,
+            )
+        dev_id = dev.device_id
+        enc = codec.encode(
+            self.global_weights,
+            key=("down", dev_id),
+            reference=self._down_refs.get(dev_id),
+        )
+        self.meter.record_download(1, enc.model_units, raw_units=1.0)
         if self._drop_one():
-            return None
-        return self.env.network.transfer_time(dev.device_id, SERVER, 1.0)
+            return None, None
+        view = codec.decode(enc)
+        self._down_refs[dev_id] = view
+        return (
+            self.env.network.transfer_time(SERVER, dev_id, enc.model_units),
+            view,
+        )
+
+    def _send_up(
+        self, dev: Device, trained: np.ndarray, start: np.ndarray
+    ) -> tuple[float | None, np.ndarray | None]:
+        """Meter one device→server upload of ``trained`` (encoded against
+        ``start``, the model the unit ran from — both endpoints hold it).
+        Returns ``(latency, payload)``; ``(None, None)`` when lost."""
+        codec = self.codec
+        if codec.is_identity:
+            self.meter.record_upload(1)
+            if self._drop_one():
+                return None, None
+            return (
+                self.env.network.transfer_time(dev.device_id, SERVER, 1.0),
+                trained,
+            )
+        enc = codec.encode(trained, key=int(dev.device_id), reference=start)
+        self.meter.record_upload(1, enc.model_units, raw_units=1.0)
+        if self._drop_one():
+            return None, None
+        return (
+            self.env.network.transfer_time(dev.device_id, SERVER, enc.model_units),
+            codec.decode(enc),
+        )
 
     def _dispatch_global(self, dev_id: int) -> None:
         """Reply to a device with the current global model (stamped with
         the current version) through the downlink."""
-        lat = self._send_down(self._by_id[dev_id])
+        lat, payload = self._send_down(self._by_id[dev_id])
         if lat is not None:
             self.scheduler.at(
                 self.scheduler.now + lat,
                 BROADCAST_ARRIVAL,
-                (dev_id, self.global_weights, self._version),
+                (dev_id, payload, self._version),
             )
 
     # ------------------------------------------------------------- handlers
@@ -249,12 +294,12 @@ class AsyncFederatedServer(FederatedServer):
             # parks until a later availability epoch brings it back.
             self._parked.add(dev_id)
             return
-        lat = self._send_up(dev)
+        lat, payload = self._send_up(dev, trained, start)
         if lat is not None:
             self.scheduler.at(
                 self.scheduler.now + lat,
                 UPLOAD_ARRIVAL,
-                (dev_id, trained, start, self._base_version[dev_id]),
+                (dev_id, payload, start, self._base_version[dev_id]),
             )
         self._begin_unit(dev_id)
 
@@ -359,14 +404,20 @@ class AsyncFederatedServer(FederatedServer):
         if cfg.eval_time_every is not None:
             sched.at(cfg.eval_time_every, EVAL_CHECKPOINT)
 
+        # Per-device downlink codec references; seeded by provisioning.
+        self._down_refs: dict[int, np.ndarray] = {}
+
         # t=0 provisioning: the server pushes the initial model to the
-        # whole cohort.  Metered per link but lossless — a fleet is
-        # provisioned with the initial model out of band, and a "lost"
+        # whole cohort.  Metered per link but lossless and dense — a fleet
+        # is provisioned with the initial model out of band, and a "lost"
         # provisioning push would just re-deliver the identical vector.
+        # The dense push establishes every device's downlink reference.
         for dev in self.cohort:
             self.meter.record_download(1)
             lat = self.env.network.transfer_time(SERVER, dev.device_id, 1.0)
             sched.at(lat, BROADCAST_ARRIVAL, (dev.device_id, self.global_weights, 0))
+            if not self.codec.is_identity:
+                self._down_refs[dev.device_id] = self.global_weights
 
         sched.run()
         return self._assemble_result()

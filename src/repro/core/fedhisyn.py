@@ -128,22 +128,40 @@ class FedHiSynServer(FederatedServer):
         # (3) broadcast: one model down per participant.  A device whose
         # pull is lost enters its ring on its previous round's model
         # instead — a lost message is harmless to liveness (Eq. 7).
-        receivers = self.broadcast(participants)
-        start = self.start_views(participants, receivers, global_weights)
+        # Under a codec everyone who received starts from the decoded view.
+        receivers, view = self.broadcast_model(participants, global_weights)
+        start = self.start_views(participants, receivers, view)
         # Ring results snapshot into recycled fleet rows for the upload
         # stack below (no-op for lossy envs / plain device lists).
         self.register_round(participants)
 
-        # (4) ring training for the round duration (lines 7-16).
+        # (4) ring training for the round duration (lines 7-16).  Ring
+        # forwards compress against the round's shared broadcast view;
+        # after a lossy broadcast there is no shared reference and the
+        # hops go dense (codec_reference=None).
         duration = self.round_duration(participants) * cfg.round_length_multiplier
-        stats = self.engine.run_round(rings, start, duration, round_idx)
+        shared_view = view if not isinstance(start, dict) else None
+        stats = self.engine.run_round(
+            rings, start, duration, round_idx,
+            codec=self.codec, codec_reference=shared_view,
+        )
         self.last_round_stats = stats
-        self.peer_send(stats.peer_sends)
+        if self.codec.is_identity:
+            self.peer_send(stats.peer_sends)
+        else:
+            # One meter entry for the whole round's hops: on-wire units
+            # from the engine, raw (uncompressed) units = hop count.
+            self.peer_send(
+                1, model_units=stats.peer_units,
+                raw_units=float(stats.peer_sends),
+            )
         self.clock.advance_by(duration)
 
         # (5) synchronous upload + aggregation (line 17).
         stack = self.stack_weights(participants)
-        arrived = self.collect(participants)
+        # Uplink reference: the shared view, or the per-device start dict
+        # after a lossy broadcast (collect_models resolves it per sender).
+        arrived, stack = self.collect_models(participants, stack, reference=start)
         if cfg.aggregation == "class_time":
             # Each participant's weight is its class's mean unit time;
             # ``classes`` holds positions into the participant order, so

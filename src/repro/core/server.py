@@ -22,6 +22,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.compression.base import UpdateCodec
+from repro.compression.codecs import IdentityCodec
 from repro.datasets.core import ClassificationDataset
 from repro.device.device import Device
 from repro.device.fleet import DeviceFleet
@@ -126,6 +128,7 @@ class FederatedServer:
             # the id-indexed array fast paths are fleet-only.
             self._unit_times = None
         self.meter = TransmissionMeter()
+        self.meter.bytes_per_unit = 8.0 * self.trainer.dim
         self.clock = VirtualClock()
         self.history = MetricsHistory()
         # The discrete-event runtime driving fit(); built fresh per fit()
@@ -136,6 +139,14 @@ class FederatedServer:
         # Optional pluggable selection policy (repro.core.selection);
         # None = the paper's Bernoulli(participation) sampling below.
         self.selection_policy = None
+        # Update codec (repro.compression) every model-carrying channel
+        # call routes through; the identity default is fast-pathed so
+        # codec="none" stays bit-identical to pre-codec runs.  Assigned
+        # post-construction by build_experiment, like selection_policy.
+        self.codec: UpdateCodec = IdentityCodec()
+        # Last model the population decoded from a server broadcast — the
+        # downlink delta/residual reference shared by server and devices.
+        self._codec_down_ref: np.ndarray | None = None
         # Channel bookkeeping: messages lost to the environment, offline
         # device-rounds — observability for the robustness benches.
         self.dropped_messages = 0
@@ -424,6 +435,81 @@ class FederatedServer:
         self._charge_transfer(senders, model_units)
         return self._apply_drops(list(range(len(senders))), ensure_one)
 
+    def broadcast_model(
+        self,
+        receivers: list[Device],
+        weights: np.ndarray,
+        extra_units: float = 0.0,
+        ensure_one: bool = True,
+    ) -> tuple[list[Device], np.ndarray]:
+        """Codec-aware :meth:`broadcast`: push ``weights`` down the wire.
+
+        Returns ``(delivered, view)`` where ``view`` is the model the
+        receivers actually obtain — ``weights`` itself under the identity
+        codec (fast path: delegates to :meth:`broadcast`, bit-identical),
+        the codec's decoded reconstruction otherwise.  The decoded view
+        becomes the new shared downlink reference, so successive
+        broadcasts compress against what the population last received.
+        ``extra_units`` rides along uncompressed (SCAFFOLD's control
+        variate — server state, not a model update).
+        """
+        if not receivers:
+            return [], weights
+        codec = self.codec
+        if codec.is_identity:
+            return self.broadcast(receivers, 1.0 + extra_units, ensure_one), weights
+        enc = codec.encode(weights, key="server-down", reference=self._codec_down_ref)
+        units = enc.model_units + extra_units
+        self.meter.record_download(len(receivers), units, raw_units=1.0 + extra_units)
+        self._charge_transfer(receivers, units)
+        delivered = self._apply_drops(receivers, ensure_one)
+        view = codec.decode(enc)
+        self._codec_down_ref = view
+        return delivered, view
+
+    def collect_models(
+        self,
+        senders: list[Device],
+        stack: np.ndarray,
+        reference: np.ndarray | dict[int, np.ndarray] | None = None,
+        extra_units: float = 0.0,
+        ensure_one: bool = True,
+    ) -> tuple[list[int], np.ndarray]:
+        """Codec-aware :meth:`collect`: upload ``stack``'s rows (row i is
+        ``senders[i]``'s trained model).
+
+        Returns ``(arrived, decoded)``: the surviving indices plus the
+        stack the server actually reconstructs — ``stack`` itself under
+        the identity codec (fast path, same object, bit-identical),
+        otherwise a fresh array of per-sender decodes.  ``reference`` is
+        the model each sender trained from (the broadcast view, or a
+        :meth:`start_views` dict keyed by device id after a lossy
+        broadcast); senders without one upload dense.  Per-sender wire
+        sizes differ, so the clock charge uses the per-link unit vector.
+        """
+        if not senders:
+            return [], stack
+        codec = self.codec
+        if codec.is_identity:
+            return (
+                self.collect(senders, 1.0 + extra_units, ensure_one),
+                stack,
+            )
+        decoded = np.empty((len(senders), stack.shape[1]), dtype=np.float64)
+        units = np.empty(len(senders), dtype=np.float64)
+        by_id = reference if isinstance(reference, dict) else None
+        for i, dev in enumerate(senders):
+            ref = by_id.get(dev.device_id) if by_id is not None else reference
+            enc = codec.encode(stack[i], key=int(dev.device_id), reference=ref)
+            units[i] = enc.model_units + extra_units
+            decoded[i] = codec.decode(enc)
+        self.meter.record_upload(
+            1, float(units.sum()), raw_units=len(senders) * (1.0 + extra_units)
+        )
+        self._charge_transfer(senders, units)
+        arrived = self._apply_drops(list(range(len(senders))), ensure_one)
+        return arrived, decoded
+
     def start_views(
         self,
         participants: list[Device],
@@ -465,19 +551,28 @@ class FederatedServer:
             return arrays
         return tuple(a[arrived] for a in arrays)
 
-    def peer_send(self, count: int = 1, model_units: float = 1.0) -> None:
+    def peer_send(
+        self,
+        count: int = 1,
+        model_units: float = 1.0,
+        raw_units: float | None = None,
+    ) -> None:
         """Meter device-to-device hops (ring forwards).  Delays and drops
         for peer traffic are applied inside the ring engine, which reads
-        the same environment's network model."""
-        self.meter.record_peer(count, model_units)
+        the same environment's network model.  ``raw_units`` carries the
+        uncompressed size when the hops went through a codec."""
+        self.meter.record_peer(count, model_units, raw_units)
 
-    def _charge_transfer(self, devices: list[Device], model_units: float) -> None:
+    def _charge_transfer(
+        self, devices: list[Device], model_units: float | np.ndarray
+    ) -> None:
         """Advance the clock by the slowest link's transfer time.
 
         Contract: a round's wall-clock time is compute (the method's
         ``advance_by(duration)``) plus every channel call's slowest-link
         transfer time; under ``ideal`` the transfer term is exactly zero
-        and the clock is untouched.
+        and the clock is untouched.  ``model_units`` may be a per-device
+        array (codec uploads have per-sender wire sizes).
         """
         if self.fleet is not None:
             t = self.env.server_transfer_time_ids(
@@ -641,4 +736,5 @@ class FederatedServer:
                 "seed": cfg.seed,
                 **cfg.extra,
             },
+            transport=self.meter.snapshot(),
         )

@@ -117,22 +117,29 @@ class Environment:
         return online
 
     def server_transfer_time(
-        self, devices: Sequence, model_units: float = 1.0
+        self, devices: Sequence, model_units: float | np.ndarray = 1.0
     ) -> float:
         """Time until the slowest server↔device link finishes one transfer.
 
         Links are symmetric in every bundled network model, so this serves
-        both broadcast (down) and collect (up).
+        both broadcast (down) and collect (up).  ``model_units`` may be an
+        array aligned with ``devices`` (codec uploads size per sender).
         """
         net = self.network
         if net.is_instant or not devices:
             return 0.0
+        if np.ndim(model_units) == 0:
+            return max(
+                net.transfer_time(SERVER, d.device_id, model_units)
+                for d in devices
+            )
         return max(
-            net.transfer_time(SERVER, d.device_id, model_units) for d in devices
+            net.transfer_time(SERVER, d.device_id, float(u))
+            for d, u in zip(devices, model_units)
         )
 
     def server_transfer_time_ids(
-        self, device_ids: np.ndarray, model_units: float = 1.0
+        self, device_ids: np.ndarray, model_units: float | np.ndarray = 1.0
     ) -> float:
         """Slowest server-link transfer over an id array, vectorized."""
         net = self.network

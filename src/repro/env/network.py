@@ -85,12 +85,14 @@ class NetworkModel(LinkDelayModel):
         a Python ``transfer_time`` call per device would make that O(n)
         interpreted work every channel call.  Subclasses with per-device
         structure (:class:`SampledNetwork`) override this with array math;
-        the generic fallback loops.
+        the generic fallback loops.  ``model_units`` may be an array
+        aligned with ``device_ids`` (per-sender codec wire sizes).
         """
+        units = np.broadcast_to(model_units, (len(device_ids),))
         return np.array(
             [
-                self.transfer_time(SERVER, int(d), model_units)
-                for d in device_ids
+                self.transfer_time(SERVER, int(d), float(u))
+                for d, u in zip(device_ids, units)
             ],
             dtype=np.float64,
         )
@@ -170,7 +172,9 @@ class UniformNetwork(NetworkModel):
         t = self._latency + (
             0.0 if self._bandwidth == math.inf else model_units / self._bandwidth
         )
-        return np.full(len(device_ids), t)
+        if np.ndim(t) == 0:
+            return np.full(len(device_ids), t)
+        return np.asarray(np.broadcast_to(t, (len(device_ids),)), dtype=np.float64)
 
 
 class SampledNetwork(UniformNetwork):

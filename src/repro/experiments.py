@@ -20,6 +20,8 @@ import numpy as np
 
 import repro.baselines  # noqa: F401  (registers the baseline methods)
 import repro.core.fedhisyn  # noqa: F401  (registers fedhisyn)
+from repro.compression import make_codec
+from repro.core.aggregation import AGGREGATORS
 from repro.core.async_server import STALENESS_DECAYS
 from repro.core.registry import METHOD_CONFIGS, METHOD_SERVERS, get_method
 from repro.core.selection import SELECTION_POLICIES, make_policy
@@ -133,6 +135,13 @@ class ExperimentSpec:
     staleness_decay: str | None = None
     buffer_goal: int | None = None
     method_kwargs: dict[str, Any] = field(default_factory=dict)
+    # Update compression (repro.compression): named codec plus keyword
+    # overrides.  "none" reproduces dense transfers bit-for-bit.
+    codec: str = "none"
+    codec_kwargs: dict[str, Any] = field(default_factory=dict)
+    # Robust aggregation for FedAvg-family rounds (repro.core.aggregation);
+    # None keeps each method's built-in rule.
+    aggregator: str | None = None
 
     def __post_init__(self) -> None:
         if self.fleet_profile is not None:
@@ -207,9 +216,19 @@ class ExperimentSpec:
             raise ValueError(
                 f"env_kwargs must be a dict, got {type(self.env_kwargs).__name__}"
             )
+        if not isinstance(self.codec_kwargs, dict):
+            raise ValueError(
+                f"codec_kwargs must be a dict, got {type(self.codec_kwargs).__name__}"
+            )
+        if self.aggregator is not None and self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {AGGREGATORS}, got {self.aggregator!r}"
+            )
         # Raises ValueError for an unknown preset or bad override keys, so
         # a mistyped --env/--grid value fails at spec time, not mid-run.
         make_environment(self.env, **self.env_kwargs)
+        # Same fail-early contract for the codec axis.
+        make_codec(self.codec, **self.codec_kwargs)
 
     def with_method(self, method: str, **method_kwargs) -> "ExperimentSpec":
         """Same experiment, different algorithm — for method comparisons."""
@@ -317,6 +336,7 @@ def build_experiment(
             ("eval_time_every", spec.eval_time_every),
             ("staleness_decay", spec.staleness_decay),
             ("buffer_goal", spec.buffer_goal),
+            ("aggregator", spec.aggregator),
         )
         if value is not None and key in cfg_fields
     }
@@ -339,6 +359,13 @@ def build_experiment(
             else spec.participation
         )
         server.selection_policy = make_policy(spec.selection, fraction)
+    if spec.codec != "none" or spec.codec_kwargs:
+        # Codec-private rng stream: seeded off the experiment seed but
+        # disjoint from the +0..+6 substrate streams, so switching codecs
+        # never perturbs data/model/training randomness.
+        server.codec = make_codec(
+            spec.codec, **{"seed": spec.seed + 7, **spec.codec_kwargs}
+        )
     return server
 
 
@@ -362,6 +389,12 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
         result.config["staleness_decay"] = spec.staleness_decay
     if spec.buffer_goal is not None:
         result.config["buffer_goal"] = spec.buffer_goal
+    if spec.codec != "none":
+        result.config["codec"] = spec.codec
+    if spec.codec_kwargs:
+        result.config["codec_kwargs"] = dict(spec.codec_kwargs)
+    if spec.aggregator is not None:
+        result.config["aggregator"] = spec.aggregator
     if spec.selection is not None:
         result.config["selection"] = spec.selection
         result.config["selection_fraction"] = (

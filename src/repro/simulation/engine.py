@@ -40,11 +40,16 @@ _PEER_DROP_STREAM_KEY = (0, 102)
 
 @dataclass
 class RingRoundStats:
-    """What happened during one ring round."""
+    """What happened during one ring round.
+
+    ``peer_units`` is the on-wire size of all forwards in dense-model
+    units — equal to ``peer_sends`` without a codec, smaller with one.
+    """
 
     units_completed: dict[int, int]
     peer_sends: int
     end_time: float
+    peer_units: float = 0.0
 
 
 def _direct_use(buffered: np.ndarray, own: np.ndarray | None) -> np.ndarray:
@@ -132,6 +137,8 @@ class RingRoundEngine:
         global_weights: np.ndarray | dict[int, np.ndarray],
         duration: float,
         round_idx: int = 0,
+        codec=None,
+        codec_reference: np.ndarray | None = None,
     ) -> RingRoundStats:
         """One round: every listed device starts from ``global_weights``,
         trains/forwards along its ring until ``duration`` elapses.
@@ -139,6 +146,14 @@ class RingRoundEngine:
         ``global_weights`` is either one vector broadcast to everyone
         (FedHiSyn's server round) or a per-device-id dict (decentralized
         continuation, used by the Section 3 observation experiments).
+
+        ``codec`` (an :class:`~repro.compression.base.UpdateCodec`, or
+        None/identity for dense hops) compresses every ring forward
+        against ``codec_reference`` — the round's shared decoded broadcast
+        (None after a lossy broadcast: hops then go dense).  The successor
+        receives the *decoded* model and the hop's link time scales with
+        the encoded size; ``stats.peer_units`` accumulates the on-wire
+        total for the server's peer meter.
 
         Every device completes at least one unit (Algorithm 1 line 11
         enters the loop whenever the remaining budget is positive).  After
@@ -183,7 +198,10 @@ class RingRoundEngine:
             dev.buffer.clear()  # engine owns the "arrived mid-unit" queue
             sched.at(dev.unit_time, UNIT_COMPLETE, dev_id)
 
+        if codec is not None and codec.is_identity:
+            codec = None  # dense fast path below is bit-identical
         peer_sends = 0
+        peer_units = 0.0
         while sched:
             # Drain every event sharing the earliest timestamp as one batch:
             # with zero link delay a model completed at time t must be
@@ -213,14 +231,36 @@ class RingRoundEngine:
                 succ = successor[dev_id]
                 if succ != dev_id:  # singleton rings do not self-send
                     peer_sends += 1
+                    if codec is None:
+                        forwarded, hop_units = trained, 1.0
+                    else:
+                        enc = codec.encode(
+                            trained, key=("peer", dev_id),
+                            reference=codec_reference,
+                        )
+                        forwarded, hop_units = codec.decode(enc), enc.model_units
+                    peer_units += hop_units
                     if self.drop_prob and self._drop_rng.random() < self.drop_prob:
                         self.dropped_sends += 1
                     else:
-                        delay = self.delay_model.delay(dev_id, succ)
-                        if delay == 0.0:
-                            instant.append((succ, trained))
+                        if codec is None:
+                            delay = self.delay_model.delay(dev_id, succ)
                         else:
-                            sched.at(now + delay, PEER_DELIVER, (succ, trained))
+                            # A NetworkModel scales link time with payload
+                            # size; plain LinkDelayModels have one per-hop
+                            # delay regardless of size.
+                            transfer = getattr(
+                                self.delay_model, "transfer_time", None
+                            )
+                            delay = (
+                                transfer(dev_id, succ, hop_units)
+                                if transfer is not None
+                                else self.delay_model.delay(dev_id, succ)
+                            )
+                        if delay == 0.0:
+                            instant.append((succ, forwarded))
+                        else:
+                            sched.at(now + delay, PEER_DELIVER, (succ, forwarded))
 
             # Phase 2: zero-delay hops land before anyone starts a new unit.
             for dst, weights in instant:
@@ -237,7 +277,10 @@ class RingRoundEngine:
                     sched.at(now + dev.unit_time, UNIT_COMPLETE, dev_id)
 
         return RingRoundStats(
-            units_completed=units_done, peer_sends=peer_sends, end_time=sched.now
+            units_completed=units_done,
+            peer_sends=peer_sends,
+            end_time=sched.now,
+            peer_units=peer_units if codec is not None else float(peer_sends),
         )
 
 

@@ -18,7 +18,7 @@ __all__ = ["TransmissionMeter", "MetricsHistory"]
 
 
 class TransmissionMeter:
-    """Counts model transfers by channel.
+    """Counts model transfers by channel — on-wire and raw.
 
     ``server_down``/``server_up`` are device<->server transfers — the
     paper's costed channel.  ``peer`` counts device-to-device ring hops,
@@ -26,40 +26,100 @@ class TransmissionMeter:
     quantity "traded" for server communication in the design principle).
     ``model_units`` scales entries that cost more than one model — SCAFFOLD
     uploads model + control variate, i.e. 2 units (Section 6.1, Metrics).
+
+    With an update codec active the channel passes the payload's *wire*
+    size as ``model_units`` and the logical (uncompressed) size as
+    ``raw_units``; ``raw_down``/``raw_up``/``raw_peer`` accumulate the
+    latter, so ``compression_ratio`` is exactly raw-bytes / wire-bytes.
+    Without a codec the two series are identical.  ``bytes_per_unit``
+    (one dense model's byte size, set by the server from the trainer's
+    flat dimension) converts unit counts to exact byte counts.
     """
 
     def __init__(self) -> None:
         self.server_down = 0.0
         self.server_up = 0.0
         self.peer = 0.0
+        self.raw_down = 0.0
+        self.raw_up = 0.0
+        self.raw_peer = 0.0
+        self.bytes_per_unit: float | None = None
 
-    def record_download(self, count: int = 1, model_units: float = 1.0) -> None:
+    def record_download(
+        self, count: int = 1, model_units: float = 1.0,
+        raw_units: float | None = None,
+    ) -> None:
         if count < 0 or model_units < 0:
             raise ValueError("counts must be non-negative")
         self.server_down += count * model_units
+        self.raw_down += count * (model_units if raw_units is None else raw_units)
 
-    def record_upload(self, count: int = 1, model_units: float = 1.0) -> None:
+    def record_upload(
+        self, count: int = 1, model_units: float = 1.0,
+        raw_units: float | None = None,
+    ) -> None:
         if count < 0 or model_units < 0:
             raise ValueError("counts must be non-negative")
         self.server_up += count * model_units
+        self.raw_up += count * (model_units if raw_units is None else raw_units)
 
-    def record_peer(self, count: int = 1, model_units: float = 1.0) -> None:
+    def record_peer(
+        self, count: int = 1, model_units: float = 1.0,
+        raw_units: float | None = None,
+    ) -> None:
         if count < 0 or model_units < 0:
             raise ValueError("counts must be non-negative")
         self.peer += count * model_units
+        self.raw_peer += count * (model_units if raw_units is None else raw_units)
 
     @property
     def server_total(self) -> float:
         """Total device<->server transfers (the Table 1 quantity)."""
         return self.server_down + self.server_up
 
+    @property
+    def raw_total(self) -> float:
+        """Uncompressed device<->server transfers (logical models moved)."""
+        return self.raw_down + self.raw_up
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw/wire over every channel; 1.0 when nothing has moved."""
+        wire = self.server_total + self.peer
+        raw = self.raw_total + self.raw_peer
+        return raw / wire if wire > 0.0 else 1.0
+
+    @property
+    def wire_bytes(self) -> float | None:
+        """Exact bytes that crossed any link; None until the server has
+        told the meter how big one dense model is."""
+        if self.bytes_per_unit is None:
+            return None
+        return (self.server_total + self.peer) * self.bytes_per_unit
+
+    @property
+    def raw_bytes(self) -> float | None:
+        """Bytes the same traffic would have cost uncompressed."""
+        if self.bytes_per_unit is None:
+            return None
+        return (self.raw_total + self.raw_peer) * self.bytes_per_unit
+
     def snapshot(self) -> dict[str, float]:
-        return {
+        snap = {
             "server_down": self.server_down,
             "server_up": self.server_up,
             "server_total": self.server_total,
             "peer": self.peer,
+            "raw_down": self.raw_down,
+            "raw_up": self.raw_up,
+            "raw_total": self.raw_total,
+            "raw_peer": self.raw_peer,
+            "compression_ratio": self.compression_ratio,
         }
+        if self.bytes_per_unit is not None:
+            snap["wire_bytes"] = self.wire_bytes
+            snap["raw_bytes"] = self.raw_bytes
+        return snap
 
 
 @dataclass

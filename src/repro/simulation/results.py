@@ -18,7 +18,10 @@ class RunResult:
 
     ``per_round_unit`` is the number of server transfers a single FedAvg
     round with the same participant count would perform; Table 1 reports
-    costs relative to it.
+    costs relative to it.  ``transport`` is the transmission meter's final
+    snapshot — per-channel on-wire and raw (uncompressed) unit counts,
+    exact byte totals and the achieved compression ratio; empty for
+    results deserialized from payloads that predate the codec subsystem.
     """
 
     method: str
@@ -27,6 +30,7 @@ class RunResult:
     final_weights: np.ndarray
     per_round_unit: float
     config: dict[str, Any] = field(default_factory=dict)
+    transport: dict[str, float] = field(default_factory=dict)
 
     @property
     def final_accuracy(self) -> float:
@@ -66,11 +70,13 @@ class RunResult:
             "final_weights": np.asarray(self.final_weights, dtype=np.float64).tolist(),
             "per_round_unit": self.per_round_unit,
             "config": dict(self.config),
+            "transport": dict(self.transport),
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.  ``transport`` defaults to empty
+        for payloads written before exact byte accounting existed."""
         return cls(
             method=data["method"],
             dataset=data["dataset"],
@@ -78,10 +84,11 @@ class RunResult:
             final_weights=np.asarray(data["final_weights"], dtype=np.float64),
             per_round_unit=float(data["per_round_unit"]),
             config=dict(data["config"]),
+            transport=dict(data.get("transport", {})),
         )
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "method": self.method,
             "dataset": self.dataset,
             "final_accuracy": self.final_accuracy,
@@ -94,3 +101,11 @@ class RunResult:
             ),
             "rounds": len(self.history.rounds),
         }
+        if self.transport:
+            if self.transport.get("wire_bytes") is not None:
+                out["wire_bytes"] = self.transport["wire_bytes"]
+                out["raw_bytes"] = self.transport["raw_bytes"]
+            out["compression_ratio"] = self.transport.get(
+                "compression_ratio", 1.0
+            )
+        return out

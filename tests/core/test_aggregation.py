@@ -6,8 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.aggregation import (
+    AGGREGATORS,
     class_time_weighted_average,
+    coordinate_median,
     sample_weighted_average,
+    trimmed_mean,
     uniform_average,
     weighted_average,
 )
@@ -85,6 +88,94 @@ class TestSampleWeighted:
         np.testing.assert_allclose(
             sample_weighted_average(stack, np.array([30, 10])), [0.25]
         )
+
+
+class TestCoordinateMedian:
+    def test_median_per_coordinate(self):
+        stack = np.array([[0.0, 5.0], [1.0, 1.0], [100.0, 3.0]])
+        np.testing.assert_allclose(coordinate_median(stack), [1.0, 3.0])
+
+    def test_robust_to_one_outlier(self):
+        """One arbitrarily corrupted upload cannot drag the median out of
+        the honest uploads' coordinate-wise range."""
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(5, 8))
+        stack[0] = 1e9
+        poisoned = coordinate_median(stack)
+        honest = stack[1:]
+        assert np.all(poisoned >= honest.min(axis=0))
+        assert np.all(poisoned <= honest.max(axis=0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            coordinate_median(np.empty((0, 3)))
+
+
+class TestTrimmedMean:
+    def test_trims_both_tails(self):
+        stack = np.array([[-1e9], [1.0], [2.0], [3.0], [1e9]])
+        np.testing.assert_allclose(trimmed_mean(stack, 0.2), [2.0])
+
+    def test_small_stack_degrades_to_mean(self):
+        stack = np.array([[0.0], [4.0]])
+        np.testing.assert_allclose(trimmed_mean(stack, 0.1), [2.0])
+
+    def test_bad_fraction_raises(self):
+        for bad in (-0.1, 0.5, 0.9):
+            with pytest.raises(ValueError, match="trim_fraction"):
+                trimmed_mean(np.zeros((4, 2)), bad)
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_within_model_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        stack = rng.normal(size=(n, 4)) * 5
+        for agg in (coordinate_median(stack), trimmed_mean(stack, 0.2)):
+            assert np.all(agg >= stack.min(axis=0) - 1e-12)
+            assert np.all(agg <= stack.max(axis=0) + 1e-12)
+
+
+class TestAggregatorField:
+    """The sweepable ExperimentSpec.aggregator axis on FedAvg."""
+
+    def test_names_exported(self):
+        assert set(AGGREGATORS) == {"sample", "uniform", "median",
+                                    "trimmed_mean"}
+
+    def test_fedavg_config_validates(self):
+        from repro.baselines.fedavg import FedAvgConfig
+
+        with pytest.raises(ValueError, match="aggregator"):
+            FedAvgConfig(aggregator="krum")
+
+    def test_spec_validates(self):
+        from repro.experiments import ExperimentSpec
+
+        with pytest.raises(ValueError, match="aggregator"):
+            ExperimentSpec(aggregator="krum")
+
+    @pytest.mark.parametrize("aggregator", sorted(AGGREGATORS))
+    def test_runs_end_to_end(self, aggregator):
+        from repro.experiments import ExperimentSpec, run_experiment
+
+        result = run_experiment(ExperimentSpec(
+            method="fedavg", dataset="mnist_like", num_samples=200,
+            num_devices=4, rounds=2, seed=0, aggregator=aggregator,
+        ))
+        assert np.isfinite(result.final_weights).all()
+        assert result.config["aggregator"] == aggregator
+
+    def test_aggregators_actually_differ(self):
+        from repro.experiments import ExperimentSpec, run_experiment
+
+        spec = dict(method="fedavg", dataset="mnist_like", num_samples=200,
+                    num_devices=4, rounds=2, seed=0)
+        sample = run_experiment(ExperimentSpec(**spec))
+        median = run_experiment(ExperimentSpec(**spec, aggregator="median"))
+        assert not np.array_equal(sample.final_weights, median.final_weights)
 
 
 class TestClassTimeWeighted:
