@@ -30,6 +30,10 @@ path it replaced, :mod:`benchmarks.perf.legacy_fleet`):
 * ``fedavg_round_e2e`` — the same pair with *real* local training, the
   honest end-to-end round number (training dominates, so the speedup is
   modest by construction).
+* ``fault_injection_overhead`` — the e2e workload on one server, armed
+  null-rate fault model vs ``faults="none"``: the cost of the fault
+  machinery when it injects nothing.  Here ``speedup`` reads as the
+  overhead ratio (armed / unarmed); CI gates it under 1.02.
 
 Compression layer (trajectory numbers; the codecs are new):
 
@@ -71,7 +75,9 @@ from repro.env.availability import CapacityCorrelatedAvailability
 from repro.env.environment import Environment
 from repro.env.network import SampledNetwork
 from repro.experiments import ExperimentSpec, build_experiment, run_experiment
+from repro.faults import NoFaults, make_fault_model
 from repro.nn.models import paper_mlp
+from repro.simulation.metrics import ResilienceStats
 from repro.nn.serialization import get_flat_params, set_flat_params
 from repro.simulation.scheduler import UNIT_COMPLETE, Scheduler
 
@@ -467,6 +473,76 @@ def _bench_fedavg_e2e(scale: PerfScale) -> dict:
     )
 
 
+def _bench_fault_overhead(scale: PerfScale) -> dict:
+    """Cost of the armed-but-null fault machinery on the sync round path.
+
+    Same end-to-end FedAvg workload as ``fedavg_round_e2e``, one server,
+    toggled between ``faults="none"`` (``charge_round``'s bare fast path)
+    and an armed compound model with every rate zeroed — the full
+    per-round effects draw and completion-time bookkeeping, injecting
+    nothing.  The two runs are asserted bitwise equal first (the
+    armed-null identity contract), so the pair's ``speedup`` field is the
+    pure overhead ratio armed / unarmed; CI asserts it stays under 1.02.
+    """
+    model = paper_mlp(scale.feature_dim, scale.num_classes, seed=0, hidden=(32, 16))
+    trainer = LocalTrainer(model, lr=0.1, batch_size=50, seed=2)
+    train_set, test_set, parts, unit_times = _fleet_substrate(scale)
+    fleet = make_fleet(train_set, parts, unit_times, trainer)
+    rounds = 2
+    config = FedAvgConfig(
+        rounds=rounds,
+        participation=scale.e2e_participation,
+        local_epochs=1,
+        eval_every=rounds,
+        seed=3,
+    )
+    server = FedAvgServer(fleet, test_set, config, env=Environment.ideal())
+    w0 = get_flat_params(trainer.model)
+    null_model = make_fault_model(
+        "compound", crash_prob=0.0, straggle_prob=0.0, fraction=0.0
+    )
+
+    def _fit(faults) -> object:
+        _reset_server(server)
+        server.resilience = ResilienceStats()
+        server.set_faults(faults)
+        return server.fit(initial_weights=w0)
+
+    res_armed = _fit(null_model)
+    res_plain = _fit(NoFaults())
+    np.testing.assert_array_equal(
+        res_armed.final_weights, res_plain.final_weights
+    )
+    assert res_armed.history.times == res_plain.history.times
+
+    # Best-of timing is the wrong tool for a ratio expected to be ~1.00:
+    # the two minima bottom out on different transients and the quotient
+    # of two noisy floors swings +-3%.  Interleaved pairs with a *median*
+    # per side cancels drift and keeps the ratio stable well inside the
+    # 2% CI gate.
+    repeats = max(9, scale.repeats)
+    armed_t: list[float] = []
+    plain_t: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _fit(null_model)
+        armed_t.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _fit(NoFaults())
+        plain_t.append(time.perf_counter() - t0)
+    armed = sorted(armed_t)[repeats // 2]
+    unarmed = sorted(plain_t)[repeats // 2]
+    return _pair(
+        armed / rounds,
+        unarmed / rounds,
+        devices=scale.fleet_devices,
+        rounds=rounds,
+        participation=scale.e2e_participation,
+        repeats=repeats,
+        overhead_pct=round((armed / unarmed - 1.0) * 100, 3),
+    )
+
+
 def _bench_scheduler_events(scale: PerfScale) -> dict:
     """Discrete-event scheduler throughput at fleet scale.
 
@@ -605,6 +681,7 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "fleet_build": _bench_fleet_build(scale),
         "fleet_round": _bench_fleet_round(scale),
         "fedavg_round_e2e": _bench_fedavg_e2e(scale),
+        "fault_injection_overhead": _bench_fault_overhead(scale),
         "scheduler_events": _bench_scheduler_events(scale),
         "codec_encode": _bench_codec_encode(scale),
         "codec_bytes_ratio": _bench_codec_bytes_ratio(scale),

@@ -18,6 +18,8 @@ import numpy as np
 from repro.core.aggregation import (
     AGGREGATORS,
     coordinate_median,
+    krum,
+    multi_krum,
     sample_weighted_average,
     trimmed_mean,
     uniform_average,
@@ -34,16 +36,25 @@ class FedAvgConfig(ServerConfig):
     """FedAvg's only knob beyond the shared ones is the aggregation rule."""
 
     #: One of :data:`repro.core.aggregation.AGGREGATORS`; "sample" is the
-    #: paper's Eq. 3 weighting, "median"/"trimmed_mean" the robust rules.
+    #: paper's Eq. 3 weighting, "median"/"trimmed_mean"/"krum"/"multi_krum"
+    #: the robust rules.
     aggregator: str = "sample"
     #: Per-tail trim fraction when ``aggregator="trimmed_mean"``.
     trim_fraction: float = 0.1
+    #: Byzantine bound f for krum/multi_krum; None derives the classic
+    #: maximum the guarantee supports, ``floor((n - 3) / 2)`` of the
+    #: arrived stack.
+    krum_malicious: int | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.aggregator not in AGGREGATORS:
             raise ValueError(
                 f"aggregator must be one of {AGGREGATORS}, got {self.aggregator!r}"
+            )
+        if self.krum_malicious is not None and self.krum_malicious < 0:
+            raise ValueError(
+                f"krum_malicious must be >= 0, got {self.krum_malicious}"
             )
 
 
@@ -64,6 +75,13 @@ class FedAvgServer(FederatedServer):
             return coordinate_median(stack)
         if agg == "trimmed_mean":
             return trimmed_mean(stack, getattr(self.config, "trim_fraction", 0.1))
+        if agg in ("krum", "multi_krum"):
+            f = getattr(self.config, "krum_malicious", None)
+            if f is None:
+                f = max((len(stack) - 3) // 2, 0)
+            if agg == "krum":
+                return krum(stack, f)
+            return multi_krum(stack, f)
         return sample_weighted_average(stack, counts)
 
     def run_round(
@@ -84,7 +102,13 @@ class FedAvgServer(FederatedServer):
         self.train_round(stack=stack, receivers=receivers, epochs=epochs,
                          round_idx=round_idx, global_weights=view)
         arrived, stack = self.collect_models(receivers, stack, reference=view)
-        self.clock.advance_by(duration)
+        # Fault/deadline-aware round close: on the fast path this is
+        # exactly clock.advance_by(duration); with faults armed it draws
+        # the round's completion delays, corrupts byzantine uploads and
+        # cuts stragglers at the configured deadline.
+        arrived, stack = self.charge_round(
+            round_idx, receivers, duration, stack, arrived
+        )
         counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)
         return self.aggregate_stack(stack, counts)

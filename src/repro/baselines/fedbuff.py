@@ -66,7 +66,9 @@ class FedBuffServer(AsyncFederatedServer):
     ) -> bool:
         cfg: FedBuffConfig = self.config  # type: ignore[assignment]
         self._buffer.append((trained - base, self.mix_weight(staleness)))
-        if len(self._buffer) < cfg.buffer_goal:
+        # The flush goal shrinks to the unsuspected cohort size so the
+        # buffer never waits on devices the failure detector parked.
+        if len(self._buffer) < self.live_target(cfg.buffer_goal):
             return False
         total = sum(weight for _, weight in self._buffer)
         delta = sum(weight * d for d, weight in self._buffer) / total

@@ -58,7 +58,9 @@ class FedProxServer(FedAvgServer):
                          round_idx=round_idx, global_weights=view,
                          anchor=view, mu=cfg.mu)
         arrived, stack = self.collect_models(receivers, stack, reference=view)
-        self.clock.advance_by(duration)
+        arrived, stack = self.charge_round(
+            round_idx, receivers, duration, stack, arrived
+        )
         counts = self.counts_of(receivers)
         stack, counts = self.filter_arrived(arrived, stack, counts)
         return sample_weighted_average(stack, counts)

@@ -70,6 +70,7 @@ def sweep(
     grid: Mapping[str, Iterable[Any]],
     method_kwargs: Mapping[str, dict[str, Any]] | None = None,
     codec_kwargs: Mapping[str, dict[str, Any]] | None = None,
+    fault_kwargs: Mapping[str, dict[str, Any]] | None = None,
 ) -> list[ExperimentSpec]:
     """Expand a Cartesian grid of field overrides into concrete specs.
 
@@ -77,9 +78,11 @@ def sweep(
     product is enumerated in the given key order (last key fastest).
     ``method_kwargs`` optionally maps a method name to extra kwargs merged
     into each matching spec's ``method_kwargs`` — the way FedHiSyn gets its
-    ``num_classes`` while the baselines take none.  ``codec_kwargs`` does
-    the same per codec name, so ``--grid codec=none,topk`` can carry a
-    top-k fraction that only lands on the topk cells.
+    ``num_classes`` while the baselines take none.  ``codec_kwargs`` and
+    ``fault_kwargs`` do the same per codec / fault-model name, so ``--grid
+    codec=none,topk`` can carry a top-k fraction that only lands on the
+    topk cells and ``--grid faults=none,byzantine`` a byzantine fraction
+    that only lands on the byzantine cells.
 
     Every expanded spec re-runs ``__post_init__`` validation, so an invalid
     grid value fails here rather than mid-campaign.
@@ -97,6 +100,7 @@ def sweep(
             raise ValueError(f"grid axis {name!r} is empty")
     method_kwargs = dict(method_kwargs or {})
     codec_kwargs = dict(codec_kwargs or {})
+    fault_kwargs = dict(fault_kwargs or {})
 
     specs: list[ExperimentSpec] = []
     for combo in itertools.product(*value_lists):
@@ -113,12 +117,20 @@ def sweep(
         if "codec" in names and "codec_kwargs" not in names:
             if merged["codec"] != base_spec.codec:
                 merged["codec_kwargs"] = {}
+        # And for fault kwargs: a byzantine fraction makes no sense on the
+        # "crash" cell of a --grid faults=crash,byzantine axis.
+        if "faults" in names and "fault_kwargs" not in names:
+            if merged["faults"] != base_spec.faults:
+                merged["fault_kwargs"] = {}
         extra = method_kwargs.get(merged["method"])
         if extra:
             merged["method_kwargs"] = {**merged["method_kwargs"], **extra}
         extra_codec = codec_kwargs.get(merged["codec"])
         if extra_codec:
             merged["codec_kwargs"] = {**merged["codec_kwargs"], **extra_codec}
+        extra_fault = fault_kwargs.get(merged["faults"])
+        if extra_fault:
+            merged["fault_kwargs"] = {**merged["fault_kwargs"], **extra_fault}
         specs.append(ExperimentSpec.from_dict(merged))
     return specs
 

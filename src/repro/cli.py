@@ -48,6 +48,7 @@ from repro.env.registry import (
     available_environments,
     environment_entries,
 )
+from repro.faults import available_fault_models, fault_entries
 from repro.experiments import (
     FLEET_PROFILES,
     METHODS,
@@ -123,6 +124,24 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
                    choices=sorted(AGGREGATORS),
                    help="fedavg-family aggregation rule (default: each "
                         "method's built-in sample weighting)")
+    g.add_argument("--faults", default="none",
+                   choices=available_fault_models(),
+                   help="fault-injection model applied to the run "
+                        "(default: no faults, the seed semantics)")
+    g.add_argument("--byzantine-frac", type=float, default=None,
+                   help="byzantine faults: fraction of corrupting devices")
+    g.add_argument("--crash-prob", type=float, default=None,
+                   help="crash faults: per-device per-round crash "
+                        "probability")
+    g.add_argument("--round-deadline", type=float, default=None,
+                   help="sync rounds: drop uploads later than this "
+                        "virtual-time deadline and charge the deadline")
+    g.add_argument("--over-select", type=float, default=None,
+                   help="sync rounds: over-sample participants by this "
+                        "margin to compensate for deadline losses")
+    g.add_argument("--max-retries", type=int, default=None,
+                   help="async methods: upload retransmissions before an "
+                        "update is dropped")
     g.add_argument("--drop-prob", type=float, default=None,
                    help="override the preset's message-drop probability")
     g.add_argument("--availability", default=None,
@@ -189,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_p = sub.add_parser("list", help="show registered components")
     list_p.add_argument("what", nargs="?", default="all",
                         choices=["methods", "datasets", "selections", "envs",
-                                 "codecs", "fleets", "all"])
+                                 "codecs", "fleets", "faults", "all"])
 
     return p
 
@@ -206,6 +225,9 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
     # carry e.g. a top-k fraction that only lands on the topk cells.
     codec = getattr(args, "codec", "none")
     codec_kwargs = _codec_kwargs_map(args).get(codec, {})
+    # Same selected-name rule for the fault axis.
+    faults = getattr(args, "faults", "none")
+    fault_kwargs = _fault_kwargs_map(args).get(faults, {})
     # None-valued flags defer to the ExperimentSpec defaults (the same
     # passthrough --het-ratio uses), so spec defaults stay single-sourced.
     units = {
@@ -241,6 +263,11 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         codec=codec,
         codec_kwargs=codec_kwargs,
         aggregator=getattr(args, "aggregator", None),
+        faults=faults,
+        fault_kwargs=fault_kwargs,
+        round_deadline=getattr(args, "round_deadline", None),
+        over_select=getattr(args, "over_select", None),
+        max_retries=getattr(args, "max_retries", None),
         fleet_profile=args.fleet_profile,
         seed=args.seed,
     )
@@ -268,6 +295,24 @@ def _codec_kwargs_map(args: argparse.Namespace) -> dict[str, dict]:
     return out
 
 
+def _fault_kwargs_map(args: argparse.Namespace) -> dict[str, dict]:
+    """Per-fault-model constructor kwargs from CLI conveniences.
+
+    ``compound`` takes both knobs, so each flag lands on its own model
+    *and* on the compound cells of a ``--grid faults=...`` axis.
+    """
+    out: dict[str, dict] = {}
+    byz = getattr(args, "byzantine_frac", None)
+    crash = getattr(args, "crash_prob", None)
+    if byz is not None:
+        out["byzantine"] = {"fraction": byz}
+        out.setdefault("compound", {})["fraction"] = byz
+    if crash is not None:
+        out["crash"] = {"crash_prob": crash}
+        out.setdefault("compound", {})["crash_prob"] = crash
+    return out
+
+
 def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
     """``--grid field=v1,v2`` strings -> a :func:`repro.campaign.sweep` grid."""
     grid: dict[str, list[Any]] = {}
@@ -276,9 +321,9 @@ def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
         field_name = field_name.strip().replace("-", "_")
         if not eq or not field_name:
             raise ValueError(f"--grid expects FIELD=V1,V2,..., got {pair!r}")
-        # "none" is a codec *name*, not a null — skip the null/bool/number
-        # coercion on the codec axis.
-        convert = str if field_name == "codec" else _convert
+        # "none" is a codec/fault-model *name*, not a null — skip the
+        # null/bool/number coercion on those axes.
+        convert = str if field_name in ("codec", "faults") else _convert
         values = [convert(v.strip()) for v in raw_values.split(",") if v.strip()]
         if not values:
             raise ValueError(f"--grid axis {field_name!r} has no values")
@@ -385,6 +430,7 @@ def _campaign_specs(args: argparse.Namespace, seeds: list[int]) -> list[Experime
         grid,
         method_kwargs=_method_kwargs_map(methods, args),
         codec_kwargs=_codec_kwargs_map(args),
+        fault_kwargs=_fault_kwargs_map(args),
     )
 
 
@@ -471,6 +517,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         lines = ["codecs:"]
         for entry in codec_entries():
             lines.append(f"  {entry.name:<8} {entry.description}")
+        sections.append("\n".join(lines))
+    if args.what in ("faults", "all"):
+        lines = ["fault models:"]
+        for entry in fault_entries():
+            lines.append(f"  {entry.name:<10} {entry.description}")
         sections.append("\n".join(lines))
     if args.what in ("fleets", "all"):
         lines = ["fleet profiles:"]

@@ -12,6 +12,12 @@
   (coordinate-wise): insensitive to a bounded fraction of outlier or
   adversarial uploads, the starting point for the byzantine scenario
   axis.  Sweepable on FedAvg via ``ExperimentSpec.aggregator``.
+* :func:`krum` / :func:`multi_krum` — distance-based byzantine-robust
+  selection (Blanchard et al., NeurIPS 2017): score each upload by its
+  summed squared distance to its nearest neighbors and keep the most
+  central one (Krum) or average the ``m`` most central (multi-Krum).
+  Unlike the coordinate-wise rules these select whole models, so a
+  byzantine upload cannot poison even a single coordinate.
 
 All functions take a 2-D stack ``(num_models, dim)`` and return a flat
 vector; they are pure NumPy reductions (one pass, no copies of the stack).
@@ -29,11 +35,14 @@ __all__ = [
     "weighted_average",
     "coordinate_median",
     "trimmed_mean",
+    "krum_scores",
+    "krum",
+    "multi_krum",
 ]
 
 #: Names accepted by ``ExperimentSpec.aggregator`` (FedAvg's sweepable
 #: aggregation rule); "sample" is the paper's Eq. 3 default.
-AGGREGATORS = ("sample", "uniform", "median", "trimmed_mean")
+AGGREGATORS = ("sample", "uniform", "median", "trimmed_mean", "krum", "multi_krum")
 
 
 def _check_stack(stack: np.ndarray) -> np.ndarray:
@@ -96,6 +105,63 @@ def trimmed_mean(stack: np.ndarray, trim_fraction: float = 0.1) -> np.ndarray:
         return stack.mean(axis=0)
     ordered = np.sort(stack, axis=0)
     return ordered[cut : n - cut].mean(axis=0)
+
+
+def krum_scores(stack: np.ndarray, num_malicious: int = 0) -> np.ndarray:
+    """Per-model Krum scores: sum of squared distances to the
+    ``n - num_malicious - 2`` nearest other models.
+
+    Lower is more central.  The neighbor count clamps to ``[1, n - 1]``
+    so tiny stacks degrade gracefully instead of erroring (with a single
+    upload the score is 0 and Krum returns it).
+    """
+    stack = _check_stack(stack)
+    if num_malicious < 0:
+        raise ValueError(f"num_malicious must be >= 0, got {num_malicious}")
+    n = stack.shape[0]
+    if n == 1:
+        return np.zeros(1)
+    # Pairwise squared distances via the Gram trick; clip the tiny
+    # negatives float cancellation can produce on near-identical rows.
+    sq = np.einsum("ij,ij->i", stack, stack)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (stack @ stack.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, np.inf)  # a model is not its own neighbor
+    k = min(max(n - num_malicious - 2, 1), n - 1)
+    nearest = np.partition(d2, k - 1, axis=1)[:, :k]
+    return nearest.sum(axis=1)
+
+
+def krum(stack: np.ndarray, num_malicious: int = 0) -> np.ndarray:
+    """Krum: the single most central upload, by nearest-neighbor score.
+
+    With ``n >= 2 * num_malicious + 3`` honest models outnumber the
+    attackers in every neighborhood, so the winner is provably an honest
+    upload.  Ties break to the lowest index (argmin), which is
+    deterministic because stacks are built in participant order.
+    """
+    stack = _check_stack(stack)
+    return stack[int(np.argmin(krum_scores(stack, num_malicious)))].copy()
+
+
+def multi_krum(
+    stack: np.ndarray, num_malicious: int = 0, m: int | None = None
+) -> np.ndarray:
+    """Multi-Krum: mean of the ``m`` most central uploads.
+
+    ``m`` defaults to ``n - num_malicious - 2`` (every model Krum's
+    guarantee covers), clamped to ``[1, n]``; ``m = 1`` is exactly Krum.
+    Averaging the central cluster recovers most of the variance reduction
+    plain averaging has over single-model selection.
+    """
+    stack = _check_stack(stack)
+    n = stack.shape[0]
+    if m is None:
+        m = n - num_malicious - 2
+    m = min(max(int(m), 1), n)
+    scores = krum_scores(stack, num_malicious)
+    chosen = np.argsort(scores, kind="stable")[:m]
+    return stack[chosen].mean(axis=0)
 
 
 def class_time_weighted_average(

@@ -45,6 +45,23 @@ streams are ``(device, 0, unit_idx)`` (sync units use round >= 1),
 churn epochs draw ``(epoch, 3)`` and message drops the persistent
 ``(0, 101)`` stream — two identically-seeded runs replay the exact same
 event trace.
+
+**Fault tolerance** (armed only when a non-null :mod:`repro.faults` model
+is installed; the clean path runs zero extra draws or events): every unit
+start draws a straggler slowdown and a crash point from the persistent
+``(0, 202)`` fault stream.  A crash cancels the pending ``unit_complete``
+(the partial unit is lost), takes the device down for its downtime, and a
+``device_restart`` rejoins it.  Uploads arm an ``upload_timeout``
+retransmission timer — a drop (or a timeout beaten by a slow link) backs
+off exponentially through ``retry_upload`` events up to
+``config.max_retries``, at-least-once semantics: a retry racing its own
+late delivery can double-deliver, exactly like a real retransmission
+protocol.  Devices emit ``heartbeat`` beacons every
+``config.heartbeat_period``; the ``suspect`` sweep marks devices silent
+past ``config.suspicion_timeout`` as suspected — detected crashes for the
+resilience accounting, and the count the buffered methods subtract from
+their flush goal (:meth:`AsyncFederatedServer.live_target`) so an
+aggregation never waits on a parked device.
 """
 
 from __future__ import annotations
@@ -55,6 +72,7 @@ import numpy as np
 
 from repro.core.server import (
     _AVAILABILITY_STREAM,
+    _FAULT_ASYNC_STREAM_KEY,
     FederatedServer,
     ServerConfig,
 )
@@ -64,9 +82,15 @@ from repro.simulation.results import RunResult
 from repro.simulation.scheduler import (
     AVAILABILITY_CHANGE,
     BROADCAST_ARRIVAL,
+    DEVICE_CRASH,
+    DEVICE_RESTART,
     EVAL_CHECKPOINT,
+    HEARTBEAT,
+    RETRY_UPLOAD,
+    SUSPECT,
     UNIT_COMPLETE,
     UPLOAD_ARRIVAL,
+    UPLOAD_TIMEOUT,
     Scheduler,
 )
 from repro.utils.config import validate_positive
@@ -118,9 +142,28 @@ class AsyncServerConfig(ServerConfig):
     staleness_exponent: float = 0.5
     hinge_delay: int = 4
     churn_period: float | None = None
+    # Fault tolerance (active only with a non-null fault model installed):
+    # an upload unacknowledged after ``upload_timeout`` retries with
+    # exponential backoff (``retry_backoff * 2**attempt``) up to
+    # ``max_retries`` retransmissions; devices heartbeat every
+    # ``heartbeat_period`` and fall suspected after ``suspicion_timeout``
+    # of silence.  Times are virtual-time units (a median unit is ~0.5).
+    max_retries: int = 3
+    retry_backoff: float = 0.25
+    upload_timeout: float = 1.0
+    heartbeat_period: float = 0.5
+    suspicion_timeout: float = 1.5
 
     def __post_init__(self) -> None:
         super().__post_init__()
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        validate_positive(self.retry_backoff, "retry_backoff")
+        validate_positive(self.upload_timeout, "upload_timeout")
+        validate_positive(self.heartbeat_period, "heartbeat_period")
+        validate_positive(self.suspicion_timeout, "suspicion_timeout")
         if self.staleness_decay not in STALENESS_DECAYS:
             raise ValueError(
                 f"staleness_decay must be one of {STALENESS_DECAYS}, "
@@ -151,6 +194,10 @@ class AsyncFederatedServer(FederatedServer):
         # Server aggregation counter — the staleness reference frame.
         self._version = 0
         self._finished = False
+        # Off until fit() arms it with a non-null fault model; here so
+        # live_target() works when hooks are driven outside the loop.
+        self._fault_machinery = False
+        self._suspected: set[int] = set()
 
     # ---------------------------------------------------------------- hook
 
@@ -256,19 +303,53 @@ class AsyncFederatedServer(FederatedServer):
                 (dev_id, payload, self._version),
             )
 
+    def live_target(self, goal: int) -> int:
+        """``goal`` capped at the unsuspected cohort size — how many
+        distinct contributors an aggregation can still hope for.  The
+        failure detector's *parking* output: a buffered method that waits
+        for K uploads must not count devices the detector has written off.
+        Exactly ``goal`` while nothing is suspected (the clean-path
+        bit-identity guarantee)."""
+        if not self._fault_machinery or not self._suspected:
+            return goal
+        return max(1, min(goal, len(self._all_ids) - len(self._suspected)))
+
     # ------------------------------------------------------------- handlers
 
     def _begin_unit(self, dev_id: int) -> None:
         """Start the device's next unit from the freshest model on hand:
-        the newest arrived server push, else its own latest result."""
+        the newest arrived server push, else its own latest result.
+
+        With the fault machinery armed the unit's duration picks up the
+        model's straggler slowdown and its crash draw may schedule a
+        ``device_crash`` strictly inside the unit — which will cancel the
+        pending ``unit_complete`` handle kept in ``_unit_events``.
+        """
         arrival = self._inbox.pop(dev_id, None)
         if arrival is not None:
             self._start_model[dev_id], self._base_version[dev_id] = arrival
         else:
             self._start_model[dev_id] = self._own_model[dev_id]
-        self.scheduler.at(
-            self.scheduler.now + self._unit_time[dev_id], UNIT_COMPLETE, dev_id
+        if not self._fault_machinery:
+            self.scheduler.at(
+                self.scheduler.now + self._unit_time[dev_id], UNIT_COMPLETE, dev_id
+            )
+            return
+        unit_time = self._unit_time[dev_id]
+        slow = self.faults.unit_slowdown(dev_id, self._fault_rng)
+        if slow != 1.0:
+            self.resilience.injected_slowdowns += 1
+            unit_time *= slow
+        crash = self.faults.unit_crash(dev_id, self._fault_rng)
+        self._unit_events[dev_id] = self.scheduler.at(
+            self.scheduler.now + unit_time, UNIT_COMPLETE, dev_id
         )
+        if crash is not None:
+            frac, downtime = crash
+            lost = frac * unit_time
+            self.scheduler.at(
+                self.scheduler.now + lost, DEVICE_CRASH, (dev_id, lost, downtime)
+            )
 
     def _on_broadcast_arrival(self, ev) -> None:
         dev_id, weights, version = ev.payload
@@ -276,12 +357,17 @@ class AsyncFederatedServer(FederatedServer):
         # Newest version wins; an older in-flight reply never clobbers it.
         if banked is None or version >= banked[1]:
             self._inbox[dev_id] = (weights, version)
-        if dev_id in self._parked and dev_id not in self._offline:
+        if (
+            dev_id in self._parked
+            and dev_id not in self._offline
+            and dev_id not in self._crashed
+        ):
             self._parked.discard(dev_id)
             self._begin_unit(dev_id)
 
     def _on_unit_complete(self, ev) -> None:
         dev_id = ev.payload
+        self._unit_events.pop(dev_id, None)
         dev = self._by_id[dev_id]
         start = self._start_model[dev_id]
         trained = dev.run_unit(
@@ -294,17 +380,149 @@ class AsyncFederatedServer(FederatedServer):
             # parks until a later availability epoch brings it back.
             self._parked.add(dev_id)
             return
-        lat, payload = self._send_up(dev, trained, start)
+        payload = trained
+        if self._fault_machinery and self.faults.is_byzantine(dev_id):
+            # The device trains honestly (its own state is `trained`) but
+            # lies on the wire.
+            payload = self.faults.corrupt(trained, dev_id, self._fault_rng)
+            self.resilience.injected_corruptions += 1
+        self._send_attempt(dev, payload, start, self._base_version[dev_id], 0)
+        self._begin_unit(dev_id)
+
+    def _send_attempt(
+        self,
+        dev: Device,
+        payload: np.ndarray,
+        start: np.ndarray,
+        base_version: int,
+        attempt: int,
+    ) -> None:
+        """One upload transmission (original or retry).  With the fault
+        machinery armed every attempt arms an ``upload_timeout``
+        retransmission timer, cancelled when the delivery is processed."""
+        dev_id = dev.device_id
+        lat, delivered = self._send_up(dev, payload, start)
+        if not self._fault_machinery:
+            if lat is not None:
+                self.scheduler.at(
+                    self.scheduler.now + lat,
+                    UPLOAD_ARRIVAL,
+                    (dev_id, delivered, start, base_version, None),
+                )
+            return
+        self.resilience.uploads_sent += 1
+        token = self._upload_seq
+        self._upload_seq += 1
+        timer = self.scheduler.at(
+            self.scheduler.now + self.config.upload_timeout, UPLOAD_TIMEOUT, token
+        )
+        self._upload_timers[token] = (
+            timer, dev_id, payload, start, base_version, attempt,
+        )
         if lat is not None:
             self.scheduler.at(
                 self.scheduler.now + lat,
                 UPLOAD_ARRIVAL,
-                (dev_id, payload, start, self._base_version[dev_id]),
+                (dev_id, delivered, start, base_version, token),
             )
-        self._begin_unit(dev_id)
+
+    def _on_upload_timeout(self, ev) -> None:
+        """The retransmission timer matured unacknowledged: the upload was
+        dropped (or its link is slower than the timeout).  Back off
+        exponentially and retry, up to ``config.max_retries``."""
+        token = ev.payload
+        record = self._upload_timers.pop(token, None)
+        if record is None:
+            return  # acknowledged before the timer fired
+        _, dev_id, payload, start, base_version, attempt = record
+        res = self.resilience
+        res.upload_timeouts += 1
+        if attempt >= self.config.max_retries or self._finished:
+            res.dropped_updates += 1
+            return
+        res.retries += 1
+        backoff = self.config.retry_backoff * (2.0 ** attempt)
+        self.scheduler.at(
+            self.scheduler.now + backoff,
+            RETRY_UPLOAD,
+            (dev_id, payload, start, base_version, attempt + 1),
+        )
+
+    def _on_retry_upload(self, ev) -> None:
+        dev_id, payload, start, base_version, attempt = ev.payload
+        if dev_id in self._crashed:
+            # The retransmission queue dies with its device.
+            self.resilience.dropped_updates += 1
+            return
+        self._send_attempt(self._by_id[dev_id], payload, start, base_version, attempt)
+
+    def _on_device_crash(self, ev) -> None:
+        """Fail-stop mid-unit: the pending ``unit_complete`` is cancelled
+        (the cancellable-timer path), the partial work is lost, and the
+        heartbeat chain goes silent until restart."""
+        dev_id, lost, downtime = ev.payload
+        pending = self._unit_events.pop(dev_id, None)
+        if pending is not None:
+            self.scheduler.cancel(pending)
+        beat = self._beat_events.pop(dev_id, None)
+        if beat is not None:
+            self.scheduler.cancel(beat)
+        self._crashed.add(dev_id)
+        self._crash_detected[dev_id] = False
+        self._parked.discard(dev_id)
+        res = self.resilience
+        res.injected_crashes += 1
+        res.wasted_time += lost
+        self.scheduler.at(self.scheduler.now + downtime, DEVICE_RESTART, dev_id)
+
+    def _on_device_restart(self, ev) -> None:
+        dev_id = ev.payload
+        self._crashed.discard(dev_id)
+        # Immediate rejoin announcement: the beat un-suspects the device
+        # and restarts its heartbeat chain.
+        self._schedule_beat(dev_id, self.scheduler.now)
+        if dev_id in self._offline:
+            self._parked.add(dev_id)
+        else:
+            self._begin_unit(dev_id)
+
+    def _schedule_beat(self, dev_id: int, time: float) -> None:
+        self._beat_events[dev_id] = self.scheduler.at(time, HEARTBEAT, dev_id)
+
+    def _on_heartbeat(self, ev) -> None:
+        dev_id = ev.payload
+        self._last_heard[dev_id] = ev.time
+        # A beat from a suspected device is a rejoin: forgive it.
+        self._suspected.discard(dev_id)
+        self._schedule_beat(dev_id, ev.time + self.config.heartbeat_period)
+
+    def _on_suspect(self, ev) -> None:
+        """Failure-detector sweep: park devices silent past the suspicion
+        timeout.  A suspicion of a genuinely crashed device is a
+        *detection* (counted once per crash); of a live one, a false
+        suspicion its next beat will clear."""
+        cfg: AsyncServerConfig = self.config  # type: ignore[assignment]
+        now = ev.time
+        res = self.resilience
+        for dev_id in sorted(self._all_ids):
+            if dev_id in self._suspected:
+                continue
+            if now - self._last_heard[dev_id] > cfg.suspicion_timeout:
+                self._suspected.add(dev_id)
+                if dev_id in self._crashed:
+                    if not self._crash_detected.get(dev_id, False):
+                        self._crash_detected[dev_id] = True
+                        res.detected_crashes += 1
+                else:
+                    res.false_suspicions += 1
+        self.scheduler.at(now + cfg.heartbeat_period, SUSPECT)
 
     def _on_upload_arrival(self, ev) -> None:
-        dev_id, trained, base, base_version = ev.payload
+        dev_id, trained, base, base_version, token = ev.payload
+        if token is not None:
+            record = self._upload_timers.pop(token, None)
+            if record is not None:
+                self.scheduler.cancel(record[0])
         staleness = self._version - base_version
         aggregated = self.apply_upload(dev_id, trained, base, staleness)
         if aggregated:
@@ -394,11 +612,36 @@ class AsyncFederatedServer(FederatedServer):
             else float(max(self._unit_time.values()))
         )
 
+        # Fault-tolerance state.  The containers exist unconditionally (so
+        # handlers can consult them cheaply) but nothing populates them —
+        # and no fault event is ever scheduled — unless the machinery is
+        # armed by a non-null fault model.
+        self._fault_machinery = not self.faults.is_null
+        self._crashed: set[int] = set()
+        self._suspected: set[int] = set()
+        self._crash_detected: dict[int, bool] = {}
+        self._unit_events: dict[int, object] = {}
+        self._beat_events: dict[int, object] = {}
+        self._upload_timers: dict[int, tuple] = {}
+        self._upload_seq = 0
+        self._last_heard = {i: 0.0 for i in ids}
+
         sched.on(BROADCAST_ARRIVAL, self._on_broadcast_arrival)
         sched.on(UNIT_COMPLETE, self._on_unit_complete)
         sched.on(UPLOAD_ARRIVAL, self._on_upload_arrival)
         sched.on(AVAILABILITY_CHANGE, self._on_availability_change)
         sched.on(EVAL_CHECKPOINT, self._on_eval_checkpoint)
+        if self._fault_machinery:
+            self._fault_rng = self._seeds.generator(*_FAULT_ASYNC_STREAM_KEY)
+            sched.on(UPLOAD_TIMEOUT, self._on_upload_timeout)
+            sched.on(RETRY_UPLOAD, self._on_retry_upload)
+            sched.on(DEVICE_CRASH, self._on_device_crash)
+            sched.on(DEVICE_RESTART, self._on_device_restart)
+            sched.on(HEARTBEAT, self._on_heartbeat)
+            sched.on(SUSPECT, self._on_suspect)
+            for dev_id in sorted(ids):
+                self._schedule_beat(dev_id, cfg.heartbeat_period)
+            sched.at(cfg.suspicion_timeout, SUSPECT)
         if not self.env.availability.always_on:
             sched.at(self._churn_period, AVAILABILITY_CHANGE, 1)
         if cfg.eval_time_every is not None:

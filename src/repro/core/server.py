@@ -28,9 +28,14 @@ from repro.datasets.core import ClassificationDataset
 from repro.device.device import Device
 from repro.device.fleet import DeviceFleet
 from repro.env.environment import Environment
+from repro.faults.model import FaultModel, NoFaults
 from repro.nn.serialization import get_flat_params, set_flat_params
 from repro.simulation.clock import VirtualClock
-from repro.simulation.metrics import MetricsHistory, TransmissionMeter
+from repro.simulation.metrics import (
+    MetricsHistory,
+    ResilienceStats,
+    TransmissionMeter,
+)
 from repro.simulation.results import RunResult
 from repro.simulation.scheduler import (
     EVAL_CHECKPOINT,
@@ -39,7 +44,11 @@ from repro.simulation.scheduler import (
     completed_units,
     completed_units_array,
 )
-from repro.utils.config import validate_fraction, validate_positive
+from repro.utils.config import (
+    validate_fraction,
+    validate_non_negative,
+    validate_positive,
+)
 from repro.utils.logging import NullLogger, RunLogger
 from repro.utils.rng import SeedSequenceFactory
 
@@ -51,6 +60,12 @@ __all__ = ["ServerConfig", "FederatedServer"]
 #: a non-ideal environment never perturbs the training streams.
 _AVAILABILITY_STREAM = 3  # (round_idx, 3): per-round availability draws
 _DROP_STREAM_KEY = (0, 101)  # persistent message-drop stream (rounds are >= 1)
+#: Fault-injection streams (repro.faults) — a third key family, disjoint
+#: from both the training/selection streams above and the environment's
+#: 100-series, so arming a fault model never perturbs a clean run's draws.
+_FAULT_MEMBER_STREAM_KEY = (0, 200)  # one-time byzantine membership draw
+_FAULT_ROUND_STREAM = 201  # (round_idx, 201): per-round sync fault draws
+_FAULT_ASYNC_STREAM_KEY = (0, 202)  # persistent async fault stream
 
 
 @dataclass
@@ -67,6 +82,15 @@ class ServerConfig:
     # series — the time-to-accuracy sampling process.  None = round-end
     # evals only (the paper's convention).
     eval_time_every: float | None = None
+    # Fault tolerance (repro.faults): a synchronous round closes at
+    # ``round_deadline`` virtual-time units — whoever has not finished by
+    # then is dropped and the *deadline* is charged to the clock, not the
+    # straggler.  ``over_select`` compensates by inflating the Bernoulli
+    # participation to ``p * (1 + over_select)`` so enough updates still
+    # land.  None/0.0 keep the paper's wait-for-everyone semantics
+    # bit-identically.
+    round_deadline: float | None = None
+    over_select: float = 0.0
     seed: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -77,6 +101,9 @@ class ServerConfig:
         validate_positive(self.eval_every, "eval_every")
         if self.eval_time_every is not None:
             validate_positive(self.eval_time_every, "eval_time_every")
+        if self.round_deadline is not None:
+            validate_positive(self.round_deadline, "round_deadline")
+        validate_non_negative(self.over_select, "over_select")
 
 
 class FederatedServer:
@@ -147,6 +174,11 @@ class FederatedServer:
         # Last model the population decoded from a server broadcast — the
         # downlink delta/residual reference shared by server and devices.
         self._codec_down_ref: np.ndarray | None = None
+        # Fault injection (repro.faults): the null model is fast-pathed —
+        # no fault streams are opened, no deadline logic runs.  Assigned
+        # post-construction via set_faults, like selection_policy/codec.
+        self.faults: FaultModel = NoFaults()
+        self.resilience = ResilienceStats()
         # Channel bookkeeping: messages lost to the environment, offline
         # device-rounds — observability for the robustness benches.
         self.dropped_messages = 0
@@ -190,12 +222,25 @@ class FederatedServer:
         a broadcast down and an upload back for each expected participant."""
         return 2.0 * self.expected_participants
 
+    @property
+    def _participation(self) -> float:
+        """Effective Bernoulli participation: the configured probability
+        inflated by the over-selection margin (sample ``k*(1+margin)`` so
+        a deadline round still lands enough updates).  The margin is
+        deliberately *not* folded into :attr:`expected_participants` —
+        over-selection is insurance, and its extra transfers must show up
+        in the relative-cost metrics rather than re-normalize them away."""
+        margin = self.config.over_select
+        if margin > 0.0:
+            return min(1.0, self.config.participation * (1.0 + margin))
+        return self.config.participation
+
     def _bernoulli_ids(self, rng: np.random.Generator) -> np.ndarray:
         """Fleet-path Bernoulli(participation) draw over device *ids*,
         at least one.  The sampling core shared by the per-round selection
         and the async cohort draw — one place for the mask, the empty-draw
         fallback and their rng consumption order."""
-        p = self.config.participation
+        p = self._participation
         if p >= 1.0:
             return self.fleet.device_ids
         mask = rng.random(len(self.fleet)) < p
@@ -206,7 +251,7 @@ class FederatedServer:
 
     def _bernoulli_devices(self, rng: np.random.Generator) -> list[Device]:
         """Object-path twin of :meth:`_bernoulli_ids` (identical draws)."""
-        p = self.config.participation
+        p = self._participation
         if p >= 1.0:
             return list(self.devices)
         mask = rng.random(len(self.devices)) < p
@@ -260,6 +305,96 @@ class FederatedServer:
         self._round_list = chosen
         self._round_ids = None
         return chosen
+
+    # ------------------------------------------------------ fault machinery
+
+    def set_faults(self, model: FaultModel) -> None:
+        """Install a fault model and run its one-time population draws.
+
+        Membership (which devices are byzantine) comes from the dedicated
+        ``(0, 200)`` stream, so arming a model perturbs no training,
+        selection, availability or codec randomness.
+        """
+        self.faults = model
+        if not model.is_null:
+            model.attach(
+                len(self.devices),
+                self._seeds.generator(*_FAULT_MEMBER_STREAM_KEY),
+            )
+
+    @property
+    def faults_active(self) -> bool:
+        """True when the round path must run fault/deadline logic at all —
+        the inverse of the ``faults="none"`` + no-deadline fast path."""
+        return not self.faults.is_null or self.config.round_deadline is not None
+
+    def charge_round(
+        self,
+        round_idx: int,
+        receivers: list[Device],
+        duration: float,
+        stack: np.ndarray,
+        arrived: list[int],
+    ) -> tuple[list[int], np.ndarray]:
+        """Close a barrier round's compute phase: inject faults, apply the
+        deadline, charge the clock.
+
+        The FedAvg-family replacement for the bare
+        ``clock.advance_by(duration)``.  On the fast path (no fault model,
+        no deadline) it *is* exactly that call — zero extra draws, the
+        same objects returned.  Otherwise per-participant completion times
+        are drawn from the round's fault stream, byzantine rows are
+        corrupted (on a copy — device state stays honest), late uploads
+        are cut by ``config.round_deadline``, and the clock is charged
+        the deadline rather than the slowest straggler.
+        """
+        if not self.faults_active:
+            self.clock.advance_by(duration)
+            return arrived, stack
+        res = self.resilience
+        n = len(receivers)
+        completion = np.full(n, float(duration))
+        if not self.faults.is_null:
+            rng = self._seeds.generator(round_idx, _FAULT_ROUND_STREAM)
+            ids = self.ids_of(receivers)
+            effects = self.faults.round_effects(ids, duration, rng)
+            completion = duration * effects.factors + effects.extra
+            res.injected_crashes += effects.crashes
+            res.injected_slowdowns += effects.slowdowns
+            res.wasted_time += effects.lost_time
+            byz = [i for i in arrived if self.faults.is_byzantine(int(ids[i]))]
+            if byz:
+                # Corrupt a detached copy: in recycled-arena mode the rows
+                # are the devices' live weights, and a byzantine device
+                # lies on the wire while training honestly.
+                stack = np.array(stack)
+                for i in byz:
+                    stack[i] = self.faults.corrupt(stack[i], int(ids[i]), rng)
+                    res.injected_corruptions += 1
+        deadline = self.config.round_deadline
+        if deadline is None:
+            charge = float(completion[arrived].max()) if arrived else duration
+        else:
+            landed = [i for i in arrived if completion[i] <= deadline]
+            if len(landed) < len(arrived):
+                res.deadline_hits += 1
+                res.dropped_updates += len(arrived) - len(landed)
+                res.wasted_time += float(
+                    sum(completion[i] for i in arrived if completion[i] > deadline)
+                )
+                if landed:
+                    charge = float(deadline)
+                else:
+                    # A server must aggregate something: wait for the
+                    # earliest finisher (and pay for the overrun).
+                    best = min(arrived, key=lambda i: completion[i])
+                    landed = [best]
+                    charge = float(completion[best])
+                arrived = landed
+            else:
+                charge = float(completion[arrived].max()) if arrived else duration
+        self.clock.advance_by(charge)
+        return arrived, stack
 
     # ------------------------------------------------------- fleet helpers
 
@@ -737,4 +872,9 @@ class FederatedServer:
                 **cfg.extra,
             },
             transport=self.meter.snapshot(),
+            resilience=(
+                self.resilience.snapshot()
+                if self.faults_active or self.resilience.active()
+                else {}
+            ),
         )

@@ -16,6 +16,7 @@ from repro.env.availability import (
     AvailabilityModel,
     BernoulliAvailability,
     CapacityCorrelatedAvailability,
+    DiurnalAvailability,
     TraceAvailability,
 )
 from repro.env.environment import Environment
@@ -46,6 +47,7 @@ __all__ = [
     "BernoulliAvailability",
     "TraceAvailability",
     "CapacityCorrelatedAvailability",
+    "DiurnalAvailability",
     "Environment",
     "EnvironmentEntry",
     "register_environment",

@@ -24,6 +24,7 @@ __all__ = [
     "BernoulliAvailability",
     "TraceAvailability",
     "CapacityCorrelatedAvailability",
+    "DiurnalAvailability",
 ]
 
 
@@ -155,6 +156,51 @@ class TraceAvailability(AvailabilityModel):
             if trace is not None:
                 mask[i] = trace[(round_idx - 1) % len(trace)]
         return mask
+
+
+class DiurnalAvailability(AvailabilityModel):
+    """Day/night cycle: the fleet's online probability follows a sinusoid
+    of the round index (synchronous servers) or churn-epoch index (async
+    servers) — both tick once per "round" of virtual time, so ``period``
+    is the cycle length in rounds.
+
+    ``up_prob(t) = min_up + (max_up - min_up) * (1 + sin(2*pi*(t/period
+    + phase))) / 2`` — peaks at ``max_up`` (evening plugged-in-and-idle
+    fleets), troughs at ``min_up``.  ``phase`` in [0, 1) shifts where in
+    the cycle round 0 lands.  Every device shares the cycle (it models
+    one timezone's fleet); the per-device draws stay independent.
+    """
+
+    def __init__(
+        self,
+        period: float = 24.0,
+        min_up: float = 0.15,
+        max_up: float = 0.95,
+        phase: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        validate_fraction(min_up, "min_up", inclusive_low=True)
+        validate_fraction(max_up, "max_up")
+        if min_up > max_up:
+            raise ValueError(
+                f"min_up ({min_up}) must not exceed max_up ({max_up})"
+            )
+        self.period = float(period)
+        self.min_up = float(min_up)
+        self.max_up = float(max_up)
+        self.phase = float(phase)
+
+    def up_prob(self, round_idx: int) -> float:
+        """The cycle's online probability at tick ``round_idx``."""
+        wave = np.sin(2.0 * np.pi * (round_idx / self.period + self.phase))
+        return float(self.min_up + (self.max_up - self.min_up) * 0.5 * (1.0 + wave))
+
+    def available_mask(self, round_idx, devices, rng):
+        return rng.random(len(devices)) < self.up_prob(round_idx)
+
+    def available_mask_ids(self, round_idx, device_ids, unit_times, rng):
+        return rng.random(len(device_ids)) < self.up_prob(round_idx)
 
 
 class CapacityCorrelatedAvailability(AvailabilityModel):

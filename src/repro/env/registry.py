@@ -15,8 +15,10 @@ Override keys understood by every preset:
     virtual-time units (a median device's training unit is ~0.5);
     bandwidths in models per unit time.
 ``availability``
-    ``"always"`` | ``"bernoulli"`` | ``"trace"`` | ``"capacity"``.
-``up_prob``, ``slow_penalty``, ``traces``, ``default_up``
+    ``"always"`` | ``"bernoulli"`` | ``"trace"`` | ``"capacity"`` |
+    ``"diurnal"``.
+``up_prob``, ``slow_penalty``, ``traces``, ``default_up``, ``period``,
+``min_up``, ``max_up``, ``phase``
     Availability-model parameters (see :mod:`repro.env.availability`).
 """
 
@@ -31,6 +33,7 @@ from repro.env.availability import (
     AvailabilityModel,
     BernoulliAvailability,
     CapacityCorrelatedAvailability,
+    DiurnalAvailability,
     TraceAvailability,
 )
 from repro.env.environment import Environment
@@ -45,7 +48,7 @@ __all__ = [
     "AVAILABILITY_KINDS",
 ]
 
-AVAILABILITY_KINDS = ("always", "bernoulli", "trace", "capacity")
+AVAILABILITY_KINDS = ("always", "bernoulli", "trace", "capacity", "diurnal")
 
 
 @dataclass(frozen=True)
@@ -127,6 +130,10 @@ def _build(
     slow_penalty: float | None = None,
     traces: dict | None = None,
     default_up: bool = True,
+    period: float = 24.0,
+    min_up: float = 0.15,
+    max_up: float = 0.95,
+    phase: float = 0.0,
     seed: int = 0,
 ) -> Environment:
     """Assemble an Environment from flat, JSON-safe keyword parameters."""
@@ -160,6 +167,10 @@ def _build(
         avail = CapacityCorrelatedAvailability(
             0.95 if up_prob is None else up_prob,
             0.4 if slow_penalty is None else slow_penalty,
+        )
+    elif availability == "diurnal":
+        avail = DiurnalAvailability(
+            period=period, min_up=min_up, max_up=max_up, phase=phase
         )
     else:
         raise TypeError(
@@ -239,3 +250,11 @@ def _churn(**overrides: Any) -> Environment:
     return _build(
         "churn", **{"availability": "bernoulli", "up_prob": 0.7, **overrides}
     )
+
+
+@register_environment(
+    "diurnal",
+    "perfect network, day/night fleet: sinusoidal online probability",
+)
+def _diurnal(**overrides: Any) -> Environment:
+    return _build("diurnal", **{"availability": "diurnal", **overrides})

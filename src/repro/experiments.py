@@ -32,6 +32,7 @@ from repro.datasets.registry import DATASETS
 from repro.device import LocalTrainer, make_fleet, unit_times_from_counts, unit_times_from_ratio
 from repro.device.heterogeneity import sample_unit_counts
 from repro.env.registry import make_environment
+from repro.faults import make_fault_model
 from repro.nn.layers import Flatten
 from repro.nn.models import Sequential, paper_cnn, paper_mlp
 from repro.utils.config import validate_fraction, validate_positive
@@ -142,6 +143,20 @@ class ExperimentSpec:
     # Robust aggregation for FedAvg-family rounds (repro.core.aggregation);
     # None keeps each method's built-in rule.
     aggregator: str | None = None
+    # Fault injection (repro.faults): named model plus keyword overrides.
+    # "none" is the zero-overhead null model (bit-identical to the seed
+    # behavior).  Fault-aware methods: fedavg/fedprox (barrier rounds) and
+    # fedasync/fedbuff (event loop); other methods ignore the model.
+    faults: str = "none"
+    fault_kwargs: dict[str, Any] = field(default_factory=dict)
+    # Sync-round fault tolerance: cut the round at this virtual-time
+    # deadline (late uploads are dropped, the round is charged the
+    # deadline) and over-sample participants by this margin to compensate.
+    round_deadline: float | None = None
+    over_select: float | None = None
+    # Async upload retransmission budget (fedasync/fedbuff); None keeps
+    # the method config's default.
+    max_retries: int | None = None
 
     def __post_init__(self) -> None:
         if self.fleet_profile is not None:
@@ -224,11 +239,26 @@ class ExperimentSpec:
             raise ValueError(
                 f"aggregator must be one of {AGGREGATORS}, got {self.aggregator!r}"
             )
+        if not isinstance(self.fault_kwargs, dict):
+            raise ValueError(
+                f"fault_kwargs must be a dict, got {type(self.fault_kwargs).__name__}"
+            )
+        if self.round_deadline is not None:
+            validate_positive(self.round_deadline, "round_deadline")
+        if self.over_select is not None and self.over_select < 0:
+            raise ValueError(
+                f"over_select must be >= 0, got {self.over_select}"
+            )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
         # Raises ValueError for an unknown preset or bad override keys, so
         # a mistyped --env/--grid value fails at spec time, not mid-run.
         make_environment(self.env, **self.env_kwargs)
-        # Same fail-early contract for the codec axis.
+        # Same fail-early contract for the codec and fault axes.
         make_codec(self.codec, **self.codec_kwargs)
+        make_fault_model(self.faults, **self.fault_kwargs)
 
     def with_method(self, method: str, **method_kwargs) -> "ExperimentSpec":
         """Same experiment, different algorithm — for method comparisons."""
@@ -337,6 +367,9 @@ def build_experiment(
             ("staleness_decay", spec.staleness_decay),
             ("buffer_goal", spec.buffer_goal),
             ("aggregator", spec.aggregator),
+            ("round_deadline", spec.round_deadline),
+            ("over_select", spec.over_select),
+            ("max_retries", spec.max_retries),
         )
         if value is not None and key in cfg_fields
     }
@@ -366,6 +399,11 @@ def build_experiment(
         server.codec = make_codec(
             spec.codec, **{"seed": spec.seed + 7, **spec.codec_kwargs}
         )
+    if spec.faults != "none" or spec.fault_kwargs:
+        # Fault draws run on their own (*, 200..202) seed streams —
+        # disjoint from substrate (+0..+6) and codec (+7) randomness — so
+        # arming a model that injects nothing perturbs nothing.
+        server.set_faults(make_fault_model(spec.faults, **spec.fault_kwargs))
     return server
 
 
@@ -395,6 +433,16 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
         result.config["codec_kwargs"] = dict(spec.codec_kwargs)
     if spec.aggregator is not None:
         result.config["aggregator"] = spec.aggregator
+    if spec.faults != "none":
+        result.config["faults"] = spec.faults
+    if spec.fault_kwargs:
+        result.config["fault_kwargs"] = dict(spec.fault_kwargs)
+    if spec.round_deadline is not None:
+        result.config["round_deadline"] = spec.round_deadline
+    if spec.over_select is not None:
+        result.config["over_select"] = spec.over_select
+    if spec.max_retries is not None:
+        result.config["max_retries"] = spec.max_retries
     if spec.selection is not None:
         result.config["selection"] = spec.selection
         result.config["selection_fraction"] = (

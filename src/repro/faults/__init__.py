@@ -1,0 +1,40 @@
+"""Fault injection and the robustness scenario axis.
+
+See :mod:`repro.faults.model` for the failure modes and
+:mod:`repro.faults.registry` for the named presets the
+``ExperimentSpec.faults`` field sweeps over.
+"""
+
+from repro.faults.model import (
+    ATTACKS,
+    ByzantineFaults,
+    CompoundFaults,
+    CrashFaults,
+    FaultModel,
+    NoFaults,
+    RoundEffects,
+    StragglerFaults,
+)
+from repro.faults.registry import (
+    FaultEntry,
+    available_fault_models,
+    fault_entries,
+    make_fault_model,
+    register_fault_model,
+)
+
+__all__ = [
+    "ATTACKS",
+    "FaultModel",
+    "RoundEffects",
+    "NoFaults",
+    "CrashFaults",
+    "StragglerFaults",
+    "ByzantineFaults",
+    "CompoundFaults",
+    "FaultEntry",
+    "register_fault_model",
+    "make_fault_model",
+    "available_fault_models",
+    "fault_entries",
+]

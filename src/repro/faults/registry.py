@@ -1,0 +1,158 @@
+"""Named fault-model presets: the sweepable robustness axis.
+
+Mirrors :mod:`repro.env.registry`: every preset is a factory keyed by a
+short name, accepts keyword overrides (the ``ExperimentSpec.fault_kwargs``
+/ ``--byzantine-frac`` path), and fails early with ``ValueError`` for an
+unknown name or override — so a bad campaign grid dies at sweep-expansion
+time, not mid-run.
+
+Override keys by preset:
+
+``crash``
+    ``crash_prob``, ``downtime``.
+``straggler``
+    ``straggle_prob``, ``tail_exponent``, ``max_slowdown``.
+``byzantine``
+    ``fraction``, ``attack`` (``sign_flip`` | ``gaussian`` | ``scaled``),
+    ``scale``, ``sigma``.
+``compound``
+    All of the above (crash + straggler + byzantine active together,
+    each dialed down from its solo-preset default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.faults.model import (
+    ByzantineFaults,
+    CompoundFaults,
+    CrashFaults,
+    FaultModel,
+    NoFaults,
+    StragglerFaults,
+)
+
+__all__ = [
+    "FaultEntry",
+    "register_fault_model",
+    "make_fault_model",
+    "available_fault_models",
+    "fault_entries",
+]
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One registered preset: its factory plus the ``list faults`` blurb."""
+
+    name: str
+    factory: Callable[..., FaultModel]
+    description: str = ""
+
+
+_REGISTRY: dict[str, FaultEntry] = {}
+
+
+def register_fault_model(
+    name: str, description: str = ""
+) -> Callable[[Callable[..., FaultModel]], Callable[..., FaultModel]]:
+    """Decorator registering a fault-model factory under ``name``."""
+    if not name or not name.replace("_", "").islower() or not name.isidentifier():
+        raise ValueError(
+            f"fault-model name must be a lowercase identifier, got {name!r}"
+        )
+
+    def decorate(factory: Callable[..., FaultModel]) -> Callable[..., FaultModel]:
+        if name in _REGISTRY and _REGISTRY[name].factory is not factory:
+            raise ValueError(f"fault model {name!r} is already registered")
+        _REGISTRY[name] = FaultEntry(name, factory, description)
+        return factory
+
+    return decorate
+
+
+def make_fault_model(name: str, **overrides: Any) -> FaultModel:
+    """Instantiate a registered preset, applying keyword overrides."""
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; known: {available_fault_models()}"
+        ) from None
+    try:
+        return entry.factory(**overrides)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad fault_kwargs for fault model {name!r}: {exc}"
+        ) from None
+
+
+def available_fault_models() -> list[str]:
+    """Sorted names of every registered fault-model preset."""
+    return sorted(_REGISTRY)
+
+
+def fault_entries() -> list[FaultEntry]:
+    """All registered entries, sorted by name — the ``list faults`` feed."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------- presets
+
+
+@register_fault_model("none", "fault-free world (the bit-identity fast path)")
+def _none() -> FaultModel:
+    return NoFaults()
+
+
+@register_fault_model(
+    "crash", "fail-stop crashes: mid-unit work loss, restart after downtime"
+)
+def _crash(**overrides: Any) -> FaultModel:
+    return CrashFaults(**overrides)
+
+
+@register_fault_model(
+    "straggler", "heavy-tail (Pareto) slowdowns on a fraction of participants"
+)
+def _straggler(**overrides: Any) -> FaultModel:
+    return StragglerFaults(**overrides)
+
+
+@register_fault_model(
+    "byzantine",
+    "a fixed malicious fraction corrupts uploads (sign_flip/gaussian/scaled)",
+)
+def _byzantine(**overrides: Any) -> FaultModel:
+    return ByzantineFaults(**overrides)
+
+
+@register_fault_model(
+    "compound", "crashes + stragglers + byzantine devices active together"
+)
+def _compound(
+    crash_prob: float = 0.03,
+    downtime: float = 1.0,
+    straggle_prob: float = 0.1,
+    tail_exponent: float = 1.5,
+    max_slowdown: float = 25.0,
+    fraction: float = 0.1,
+    attack: str = "sign_flip",
+    scale: float = 10.0,
+    sigma: float = 1.0,
+) -> FaultModel:
+    return CompoundFaults(
+        [
+            CrashFaults(crash_prob=crash_prob, downtime=downtime),
+            StragglerFaults(
+                straggle_prob=straggle_prob,
+                tail_exponent=tail_exponent,
+                max_slowdown=max_slowdown,
+            ),
+            ByzantineFaults(
+                fraction=fraction, attack=attack, scale=scale, sigma=sigma
+            ),
+        ]
+    )

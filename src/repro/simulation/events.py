@@ -20,6 +20,10 @@ class Event:
 
     ``cancelled`` supports O(1) revocation: the scheduler marks the event
     dead in place and skips it on pop instead of re-heapifying.
+    ``fired`` is set by the scheduler when the event is dispatched, making
+    a late ``cancel()`` on a handle that already fired a safe no-op — the
+    cancellable-timer contract (upload timeouts, pending unit completions)
+    relies on it.
     """
 
     time: float
@@ -27,6 +31,7 @@ class Event:
     kind: str = field(compare=False)
     payload: Any = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventQueue:

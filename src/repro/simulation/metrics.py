@@ -10,11 +10,71 @@ accuracy) and answers cost-to-target queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-__all__ = ["TransmissionMeter", "MetricsHistory"]
+__all__ = ["TransmissionMeter", "MetricsHistory", "ResilienceStats"]
+
+
+@dataclass
+class ResilienceStats:
+    """Exact fault/tolerance accounting for one run.
+
+    The servers increment these as faults are injected and tolerated;
+    :meth:`snapshot` becomes ``RunResult.resilience``.  The counters obey
+    two invariants the tests assert: every injected crash is either
+    detected or undetected (``undetected_crashes`` is derived, so
+    ``injected == detected + undetected`` holds by construction and
+    ``detected_crashes <= injected_crashes`` is checked at snapshot time),
+    and retransmissions never exceed ``max_retries`` per original upload.
+
+    ``wasted_time`` is device-time burned on work that produced no update:
+    partial units destroyed by crashes plus straggler work discarded by a
+    round deadline.
+    """
+
+    injected_crashes: int = 0
+    detected_crashes: int = 0
+    injected_slowdowns: int = 0
+    injected_corruptions: int = 0
+    uploads_sent: int = 0
+    upload_timeouts: int = 0
+    retries: int = 0
+    dropped_updates: int = 0
+    deadline_hits: int = 0
+    false_suspicions: int = 0
+    wasted_time: float = 0.0
+
+    @property
+    def undetected_crashes(self) -> int:
+        return self.injected_crashes - self.detected_crashes
+
+    @property
+    def injected_total(self) -> int:
+        return (
+            self.injected_crashes
+            + self.injected_slowdowns
+            + self.injected_corruptions
+        )
+
+    def active(self) -> bool:
+        """True once any counter has moved."""
+        return any(
+            getattr(self, f.name) != 0 for f in fields(self)
+        )
+
+    def snapshot(self) -> dict[str, float]:
+        if self.detected_crashes > self.injected_crashes:
+            raise ValueError(
+                "detector accounting broke: "
+                f"{self.detected_crashes} detections for "
+                f"{self.injected_crashes} injected crashes"
+            )
+        snap: dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        snap["undetected_crashes"] = self.undetected_crashes
+        snap["injected_total"] = self.injected_total
+        return snap
 
 
 class TransmissionMeter:

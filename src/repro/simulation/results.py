@@ -22,6 +22,11 @@ class RunResult:
     snapshot — per-channel on-wire and raw (uncompressed) unit counts,
     exact byte totals and the achieved compression ratio; empty for
     results deserialized from payloads that predate the codec subsystem.
+    ``resilience`` is the fault/tolerance accounting block
+    (:class:`~repro.simulation.metrics.ResilienceStats` snapshot —
+    injected/detected/retried/dropped counts, deadline hits, wasted
+    device-time); empty when no fault model or deadline was active, and
+    for payloads that predate the fault subsystem.
     """
 
     method: str
@@ -31,6 +36,7 @@ class RunResult:
     per_round_unit: float
     config: dict[str, Any] = field(default_factory=dict)
     transport: dict[str, float] = field(default_factory=dict)
+    resilience: dict[str, float] = field(default_factory=dict)
 
     @property
     def final_accuracy(self) -> float:
@@ -71,6 +77,7 @@ class RunResult:
             "per_round_unit": self.per_round_unit,
             "config": dict(self.config),
             "transport": dict(self.transport),
+            "resilience": dict(self.resilience),
         }
 
     @classmethod
@@ -85,6 +92,7 @@ class RunResult:
             per_round_unit=float(data["per_round_unit"]),
             config=dict(data["config"]),
             transport=dict(data.get("transport", {})),
+            resilience=dict(data.get("resilience", {})),
         )
 
     def summary(self) -> dict[str, Any]:
@@ -108,4 +116,8 @@ class RunResult:
             out["compression_ratio"] = self.transport.get(
                 "compression_ratio", 1.0
             )
+        if self.resilience:
+            out["faults_injected"] = self.resilience.get("injected_total", 0)
+            out["deadline_hits"] = self.resilience.get("deadline_hits", 0)
+            out["wasted_time"] = self.resilience.get("wasted_time", 0.0)
         return out

@@ -29,6 +29,25 @@ Event taxonomy (module constants; ``Event.kind`` strings):
 ``PEER_DELIVER``
     A device→device ring hop lands (the FedHiSyn engine's traffic).
 
+Fault-tolerance kinds (the :mod:`repro.faults` subsystem's traffic, armed
+only when a fault model is active):
+
+``UPLOAD_TIMEOUT``
+    A device→server upload's retransmission timer matures; if the upload
+    has not been acknowledged the sender retries with exponential backoff.
+``RETRY_UPLOAD``
+    A backed-off upload retransmission fires.
+``DEVICE_CRASH``
+    A device fail-stops mid-unit: its pending ``unit_complete`` is
+    cancelled (the partial work is lost) and a restart is scheduled.
+``DEVICE_RESTART``
+    A crashed device comes back and rejoins the schedule.
+``HEARTBEAT``
+    A device's periodic liveness beacon reaches the server.
+``SUSPECT``
+    The failure detector's sweep: devices silent past the suspicion
+    timeout are marked suspected and parked.
+
 Lagged events — an event scheduled at a nominal time the clock has already
 jumped past (synchronous rounds advance in lumps) — fire immediately at the
 current clock, keeping their nominal ``Event.time`` for recording.  This is
@@ -53,6 +72,12 @@ __all__ = [
     "AVAILABILITY_CHANGE",
     "EVAL_CHECKPOINT",
     "PEER_DELIVER",
+    "UPLOAD_TIMEOUT",
+    "RETRY_UPLOAD",
+    "DEVICE_CRASH",
+    "DEVICE_RESTART",
+    "HEARTBEAT",
+    "SUSPECT",
     "completed_units",
     "completed_units_array",
 ]
@@ -64,6 +89,12 @@ UPLOAD_ARRIVAL = "upload_arrival"
 AVAILABILITY_CHANGE = "availability_change"
 EVAL_CHECKPOINT = "eval_checkpoint"
 PEER_DELIVER = "peer_deliver"
+UPLOAD_TIMEOUT = "upload_timeout"
+RETRY_UPLOAD = "retry_upload"
+DEVICE_CRASH = "device_crash"
+DEVICE_RESTART = "device_restart"
+HEARTBEAT = "heartbeat"
+SUSPECT = "suspect"
 
 #: A float-epsilon guard shared by every "how many units fit" computation:
 #: ``horizon / t`` lands a hair under an exact integer for many decimal
@@ -167,8 +198,14 @@ class Scheduler:
         return self.at(self.clock.now + delay, kind, payload)
 
     def cancel(self, event: Event) -> None:
-        """Mark a scheduled event dead; it is skipped when popped."""
-        if not event.cancelled:
+        """Mark a scheduled event dead; it is skipped when popped.
+
+        Cancelling an event that already fired is a no-op: a timer handle
+        held past its dispatch (an upload acknowledged exactly when its
+        timeout matured, a crash racing a unit completion) must not
+        corrupt the pending counters or resurrect the handle.
+        """
+        if not event.cancelled and not event.fired:
             event.cancelled = True
             self._pending[event.kind] -= 1
 
@@ -214,6 +251,7 @@ class Scheduler:
             return None
         self.queue.pop()
         self._pending[ev.kind] -= 1
+        ev.fired = True
         if ev.time > self.clock.now:
             self.clock.advance_to(ev.time)
         self.events_processed += 1
@@ -245,6 +283,7 @@ class Scheduler:
                 break
             self.queue.pop()
             self._pending[ev.kind] -= 1
+            ev.fired = True
             self.events_processed += 1
             if self.trace is not None:
                 self.trace.append((ev.time, ev.kind, _trace_tag(ev.payload)))

@@ -143,19 +143,19 @@ class TestAggregatorField:
 
     def test_names_exported(self):
         assert set(AGGREGATORS) == {"sample", "uniform", "median",
-                                    "trimmed_mean"}
+                                    "trimmed_mean", "krum", "multi_krum"}
 
     def test_fedavg_config_validates(self):
         from repro.baselines.fedavg import FedAvgConfig
 
         with pytest.raises(ValueError, match="aggregator"):
-            FedAvgConfig(aggregator="krum")
+            FedAvgConfig(aggregator="geometric_median")
 
     def test_spec_validates(self):
         from repro.experiments import ExperimentSpec
 
         with pytest.raises(ValueError, match="aggregator"):
-            ExperimentSpec(aggregator="krum")
+            ExperimentSpec(aggregator="geometric_median")
 
     @pytest.mark.parametrize("aggregator", sorted(AGGREGATORS))
     def test_runs_end_to_end(self, aggregator):
@@ -193,3 +193,95 @@ class TestClassTimeWeighted:
             uniform_average(stack),
             rtol=1e-12,
         )
+
+
+class TestKrum:
+    def _stack_with_outliers(self, num_honest=8, num_bad=2, dim=6, seed=0):
+        rng = np.random.default_rng(seed)
+        honest = 1.0 + 0.01 * rng.standard_normal((num_honest, dim))
+        bad = -10.0 + 0.01 * rng.standard_normal((num_bad, dim))
+        return np.vstack([honest, bad]), num_honest
+
+    def test_outlier_never_selected(self):
+        from repro.core.aggregation import krum, krum_scores
+
+        stack, num_honest = self._stack_with_outliers()
+        winner = krum(stack, num_malicious=2)
+        # The winner sits in the honest cluster around +1.
+        np.testing.assert_allclose(winner, np.ones_like(winner), atol=0.1)
+        scores = krum_scores(stack, num_malicious=2)
+        assert int(np.argmin(scores)) < num_honest
+
+    def test_outliers_score_worst(self):
+        from repro.core.aggregation import krum_scores
+
+        stack, num_honest = self._stack_with_outliers()
+        scores = krum_scores(stack, num_malicious=2)
+        assert scores[num_honest:].min() > scores[:num_honest].max()
+
+    def test_tie_breaks_to_lowest_index(self):
+        from repro.core.aggregation import krum
+
+        stack = np.tile(np.array([[2.0, 3.0]]), (4, 1))
+        np.testing.assert_array_equal(krum(stack), stack[0])
+
+    def test_single_model_identity(self):
+        from repro.core.aggregation import krum, krum_scores, multi_krum
+
+        stack = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_array_equal(krum(stack), stack[0])
+        np.testing.assert_array_equal(multi_krum(stack), stack[0])
+        np.testing.assert_array_equal(krum_scores(stack), [0.0])
+
+    def test_small_stack_clamps_neighbor_count(self):
+        """n <= f + 2 would give k <= 0; the clamp keeps k = 1."""
+        from repro.core.aggregation import krum
+
+        stack = np.array([[0.0, 0.0], [1.0, 1.0], [100.0, 100.0]])
+        winner = krum(stack, num_malicious=5)
+        # With one nearest neighbor each, an edge of the close pair wins.
+        assert np.allclose(winner, stack[0]) or np.allclose(winner, stack[1])
+
+    def test_multi_krum_m1_equals_krum(self):
+        from repro.core.aggregation import krum, multi_krum
+
+        stack, _ = self._stack_with_outliers(seed=3)
+        np.testing.assert_array_equal(
+            multi_krum(stack, num_malicious=2, m=1), krum(stack, num_malicious=2)
+        )
+
+    def test_multi_krum_averages_central_cluster(self):
+        from repro.core.aggregation import multi_krum
+
+        stack, num_honest = self._stack_with_outliers(seed=5)
+        out = multi_krum(stack, num_malicious=2)  # m = 10 - 2 - 2 = 6
+        np.testing.assert_allclose(out, stack[:num_honest].mean(axis=0),
+                                   atol=0.05)
+
+    def test_multi_krum_m_clamped_to_stack(self):
+        from repro.core.aggregation import multi_krum, uniform_average
+
+        stack = np.array([[0.0, 2.0], [2.0, 4.0]])
+        np.testing.assert_allclose(
+            multi_krum(stack, m=50), uniform_average(stack)
+        )
+
+    def test_negative_f_rejected(self):
+        from repro.core.aggregation import krum_scores
+
+        with pytest.raises(ValueError):
+            krum_scores(np.ones((3, 2)), num_malicious=-1)
+
+    def test_scores_invariant_to_translation(self):
+        """Krum scores depend only on pairwise distances."""
+        from repro.core.aggregation import krum_scores
+
+        rng = np.random.default_rng(7)
+        stack = rng.standard_normal((6, 4))
+        shifted = stack + 42.0
+        np.testing.assert_allclose(
+            krum_scores(stack, 1), krum_scores(shifted, 1), atol=1e-8
+        )
+
+    def test_in_aggregators_tuple(self):
+        assert "krum" in AGGREGATORS and "multi_krum" in AGGREGATORS

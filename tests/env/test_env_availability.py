@@ -95,3 +95,83 @@ class TestCapacityCorrelated:
             CapacityCorrelatedAvailability(up_prob=1.2)
         with pytest.raises(ValueError):
             CapacityCorrelatedAvailability(slow_penalty=-0.1)
+
+
+class TestDiurnal:
+    def test_sinusoid_values(self):
+        from repro.env.availability import DiurnalAvailability
+
+        model = DiurnalAvailability(period=24.0, min_up=0.2, max_up=0.8)
+        mid = (0.2 + 0.8) / 2
+        assert model.up_prob(0) == pytest.approx(mid)  # sin(0) = 0
+        assert model.up_prob(6) == pytest.approx(0.8)  # quarter period: peak
+        assert model.up_prob(18) == pytest.approx(0.2)  # three-quarter: trough
+        assert model.up_prob(24) == pytest.approx(mid)  # full period wraps
+
+    def test_phase_shifts_the_cycle(self):
+        from repro.env.availability import DiurnalAvailability
+
+        base = DiurnalAvailability(period=24.0, phase=0.0)
+        shifted = DiurnalAvailability(period=24.0, phase=0.25)
+        assert shifted.up_prob(0) == pytest.approx(base.up_prob(6))
+
+    def test_bounds_respected_everywhere(self):
+        from repro.env.availability import DiurnalAvailability
+
+        model = DiurnalAvailability(period=7.0, min_up=0.1, max_up=0.9)
+        probs = [model.up_prob(t) for t in range(50)]
+        assert all(0.1 - 1e-12 <= p <= 0.9 + 1e-12 for p in probs)
+
+    def test_not_always_on(self):
+        from repro.env.availability import DiurnalAvailability
+
+        assert DiurnalAvailability().always_on is False
+
+    def test_masks_track_the_cycle(self):
+        from repro.env.availability import DiurnalAvailability
+
+        model = DiurnalAvailability(period=24.0, min_up=0.05, max_up=0.95)
+        rng = np.random.default_rng(0)
+        devs = fleet(200)
+        peak = model.available_mask(6, devs, rng).sum()
+        trough = model.available_mask(18, devs, rng).sum()
+        assert peak > trough * 3
+
+    def test_object_and_ids_paths_draw_identically(self):
+        from repro.env.availability import DiurnalAvailability
+
+        model = DiurnalAvailability()
+        ids = np.arange(10)
+        times = np.ones(10)
+        mask_obj = model.available_mask(5, fleet(10), np.random.default_rng(3))
+        mask_ids = model.available_mask_ids(5, ids, times,
+                                           np.random.default_rng(3))
+        np.testing.assert_array_equal(mask_obj, mask_ids)
+
+    def test_validation(self):
+        from repro.env.availability import DiurnalAvailability
+
+        with pytest.raises(ValueError):
+            DiurnalAvailability(period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalAvailability(min_up=0.9, max_up=0.5)
+        with pytest.raises(ValueError):
+            DiurnalAvailability(max_up=1.5)
+
+    def test_registry_preset_and_kind(self):
+        from repro.env.availability import DiurnalAvailability
+        from repro.env.registry import AVAILABILITY_KINDS, make_environment
+
+        assert "diurnal" in AVAILABILITY_KINDS
+        env = make_environment("diurnal", period=12.0, min_up=0.3)
+        assert isinstance(env.availability, DiurnalAvailability)
+        assert env.availability.period == 12.0
+        assert env.availability.min_up == 0.3
+
+    def test_runs_end_to_end(self):
+        from repro.experiments import ExperimentSpec, run_experiment
+
+        result = run_experiment(ExperimentSpec(
+            method="fedavg", rounds=3, num_devices=8, num_samples=400,
+            env="diurnal", env_kwargs={"period": 4.0}))
+        assert len(result.history.accuracies) == 3

@@ -235,3 +235,132 @@ class TestEventTraces:
         np.testing.assert_array_equal(
             result_a.final_weights, result_b.final_weights
         )
+
+
+class TestCancellableTimers:
+    """The fault subsystem's timer contract: cancel is O(1), idempotent,
+    and a no-op on handles held past their dispatch."""
+
+    def test_cancel_skips_event_and_updates_pending(self):
+        sched = Scheduler()
+        fired = []
+        sched.on("timer", lambda ev: fired.append(ev.payload))
+        keep = sched.at(1.0, "timer", "keep")
+        drop = sched.at(2.0, "timer", "drop")
+        sched.cancel(drop)
+        assert sched.pending("timer") == 1
+        sched.run()
+        assert fired == ["keep"]
+        assert sched.pending("timer") == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        """Holding a timer handle past its dispatch (an ack racing its
+        own timeout) must not corrupt the pending counters."""
+        sched = Scheduler()
+        handle = sched.at(1.0, "timer")
+        other = sched.at(2.0, "timer")
+        sched.step()  # dispatches `handle`
+        assert handle.fired
+        sched.cancel(handle)  # late cancel: must not double-decrement
+        assert sched.pending("timer") == 1
+        sched.cancel(handle)
+        assert sched.pending("timer") == 1
+        sched.run()
+        assert sched.pending("timer") == 0
+
+    def test_cancel_is_idempotent_before_fire(self):
+        sched = Scheduler()
+        sched.at(0.5, "timer")
+        handle = sched.at(1.0, "timer")
+        sched.cancel(handle)
+        sched.cancel(handle)
+        assert sched.pending("timer") == 1
+
+    def test_pending_counter_never_negative(self):
+        """Adversarial cancel storms leave every per-kind counter >= 0."""
+        sched = Scheduler()
+        handles = [sched.at(float(i), "a") for i in range(5)]
+        sched.step()
+        sched.step()
+        for h in handles * 3:  # cancel everything repeatedly, fired or not
+            sched.cancel(h)
+        assert sched.pending("a") == 0
+        assert all(n >= 0 for n in sched._pending.values())
+        assert sched.run() == 0  # nothing left to dispatch
+
+    def test_cancelled_events_do_not_leak_queue_entries(self):
+        """A cancelled event is skipped on pop: after a run the heap is
+        fully drained even when most entries were revoked."""
+        sched = Scheduler()
+        handles = [sched.at(1.0 + i * 0.1, "timer", i) for i in range(20)]
+        for h in handles[1:]:
+            sched.cancel(h)
+        fired = []
+        sched.on("timer", lambda ev: fired.append(ev.payload))
+        sched.run()
+        assert fired == [0]
+        assert len(sched.queue) == 0
+        assert not sched
+
+    def test_lagged_cancelled_event_never_fires(self):
+        """An event scheduled in the clock's past then cancelled stays
+        dead — it must not resurrect as a lagged firing."""
+        sched = Scheduler()
+        sched.at(5.0, "late")
+        sched.step()  # clock now at 5.0
+        lagged = sched.at(1.0, "lagged")  # in the past: would fire at now
+        sched.cancel(lagged)
+        fired = []
+        sched.on("lagged", lambda ev: fired.append(ev))
+        sched.run()
+        assert fired == []
+
+    def test_equal_timestamp_fault_events_order_deterministically(self):
+        """Fault kinds landing on one timestamp dispatch in insertion
+        order — the tie-break the retry/crash races rely on."""
+        from repro.simulation.scheduler import (
+            DEVICE_CRASH,
+            DEVICE_RESTART,
+            HEARTBEAT,
+            RETRY_UPLOAD,
+            SUSPECT,
+            UPLOAD_TIMEOUT,
+        )
+
+        kinds = [UPLOAD_TIMEOUT, RETRY_UPLOAD, DEVICE_CRASH,
+                 DEVICE_RESTART, HEARTBEAT, SUSPECT]
+        for trial in range(3):
+            sched = Scheduler()
+            seen = []
+            for k in kinds:
+                sched.on(k, lambda ev, k=k: seen.append(k))
+                sched.at(1.0, k)
+            sched.run()
+            assert seen == kinds
+
+    def test_crash_between_schedule_and_fire_never_double_fires(self):
+        """The async crash pattern: a handler cancels a sibling event at
+        the same timestamp; the sibling must not run."""
+        from repro.simulation.scheduler import DEVICE_CRASH, UNIT_COMPLETE
+
+        sched = Scheduler()
+        completions = []
+        unit = sched.at(1.0, UNIT_COMPLETE, 7)
+        sched.on(DEVICE_CRASH, lambda ev: sched.cancel(unit))
+        sched.on(UNIT_COMPLETE, lambda ev: completions.append(ev.payload))
+        sched.at(1.0, DEVICE_CRASH, 7)  # same time, later insertion
+        # Crash inserted later fires second: completion runs once.
+        assert sched.run() == 2
+        assert completions == [7]
+
+        # The reverse order: crash inserted first cancels the pending
+        # completion before it dispatches.
+        sched2 = Scheduler()
+        completions2 = []
+        holder = {}
+        sched2.on(DEVICE_CRASH, lambda ev: sched2.cancel(holder["unit"]))
+        sched2.on(UNIT_COMPLETE, lambda ev: completions2.append(ev.payload))
+        sched2.at(1.0, DEVICE_CRASH, 7)
+        holder["unit"] = sched2.at(1.0, UNIT_COMPLETE, 7)
+        sched2.run()
+        assert completions2 == []
