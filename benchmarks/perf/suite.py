@@ -42,6 +42,12 @@ Compression layer (trajectory numbers; the codecs are new):
 * ``codec_bytes_ratio`` — a small FedAvg run under the ``wan`` preset,
   dense vs top-k at 10%: per-round wall time of the compressed run plus
   the exact on-wire byte ratio the codec layer buys.
+
+Live transport (trajectory number; the backend is new):
+
+* ``live_transport_throughput`` — loopback UDP throughput of the live
+  backend's chunk/ack/reassemble reliability layer on model-sized
+  blobs: messages/s and payload MB/s.
 """
 
 from __future__ import annotations
@@ -665,6 +671,54 @@ def _bench_codec_bytes_ratio(scale: PerfScale) -> dict:
     }
 
 
+def _bench_live_transport(scale: PerfScale) -> dict:
+    """Loopback UDP throughput of the live transport's reliability layer.
+
+    Two endpoints in one process, pumped alternately: one model-sized
+    blob per message, chunked/acked/reassembled exactly as a live run's
+    MODEL/UPDATE legs are.  Reports messages/s and payload MB/s — the
+    ceiling the framed-datagram protocol puts on live-run round rate.
+    """
+    from repro.transport.endpoint import Endpoint
+    from repro.transport.frames import MSG_MODEL
+
+    model = paper_mlp(
+        scale.feature_dim, scale.num_classes, seed=0, hidden=scale.hidden
+    )
+    blob = np.random.default_rng(8).normal(size=model.dim).tobytes()
+    messages = 40
+
+    def ship() -> None:
+        sender = Endpoint(rank=0, chunk_bytes=1200, rto=0.05)
+        receiver = Endpoint(rank=1, chunk_bytes=1200, rto=0.05)
+        got = []
+        receiver.on(MSG_MODEL, lambda f, p, a: got.append(len(p)))
+        try:
+            addr = ("127.0.0.1", receiver.port)
+            for i in range(messages):
+                sender.send_blob(MSG_MODEL, addr, blob, round_idx=i, dim=model.dim)
+                while sender.pending_sends:
+                    receiver.pump(timeout=0.001)
+                    sender.pump(timeout=0.0)
+            assert len(got) == messages and got[0] == len(blob)
+        finally:
+            sender.close()
+            receiver.close()
+
+    best = _best_of(ship, max(3, scale.repeats // 3))
+    per_message = best / messages
+    return {
+        "after_s": per_message,
+        "detail": {
+            "dim": model.dim,
+            "payload_bytes": len(blob),
+            "messages": messages,
+            "messages_per_s": round(1.0 / per_message, 1),
+            "payload_mb_per_s": round(len(blob) / per_message / 1e6, 2),
+        },
+    }
+
+
 def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
     """Run every benchmark at ``scale_name``; returns the JSON-ready report."""
     scale = SCALES[scale_name]
@@ -685,6 +739,7 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "scheduler_events": _bench_scheduler_events(scale),
         "codec_encode": _bench_codec_encode(scale),
         "codec_bytes_ratio": _bench_codec_bytes_ratio(scale),
+        "live_transport_throughput": _bench_live_transport(scale),
     }
     return {
         "schema": 1,

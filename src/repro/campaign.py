@@ -71,6 +71,7 @@ def sweep(
     method_kwargs: Mapping[str, dict[str, Any]] | None = None,
     codec_kwargs: Mapping[str, dict[str, Any]] | None = None,
     fault_kwargs: Mapping[str, dict[str, Any]] | None = None,
+    transport_kwargs: Mapping[str, dict[str, Any]] | None = None,
 ) -> list[ExperimentSpec]:
     """Expand a Cartesian grid of field overrides into concrete specs.
 
@@ -82,7 +83,9 @@ def sweep(
     ``fault_kwargs`` do the same per codec / fault-model name, so ``--grid
     codec=none,topk`` can carry a top-k fraction that only lands on the
     topk cells and ``--grid faults=none,byzantine`` a byzantine fraction
-    that only lands on the byzantine cells.
+    that only lands on the byzantine cells.  ``transport_kwargs`` follows
+    the same rule per backend name, so ``--grid transport=sim,live`` can
+    carry a worker count that only lands on the live cells.
 
     Every expanded spec re-runs ``__post_init__`` validation, so an invalid
     grid value fails here rather than mid-campaign.
@@ -101,6 +104,7 @@ def sweep(
     method_kwargs = dict(method_kwargs or {})
     codec_kwargs = dict(codec_kwargs or {})
     fault_kwargs = dict(fault_kwargs or {})
+    transport_kwargs = dict(transport_kwargs or {})
 
     specs: list[ExperimentSpec] = []
     for combo in itertools.product(*value_lists):
@@ -122,6 +126,11 @@ def sweep(
         if "faults" in names and "fault_kwargs" not in names:
             if merged["faults"] != base_spec.faults:
                 merged["fault_kwargs"] = {}
+        # And for transport kwargs: a live worker count makes no sense on
+        # the "sim" cell of a --grid transport=sim,live axis.
+        if "transport" in names and "transport_kwargs" not in names:
+            if merged["transport"] != base_spec.transport:
+                merged["transport_kwargs"] = {}
         extra = method_kwargs.get(merged["method"])
         if extra:
             merged["method_kwargs"] = {**merged["method_kwargs"], **extra}
@@ -131,6 +140,11 @@ def sweep(
         extra_fault = fault_kwargs.get(merged["faults"])
         if extra_fault:
             merged["fault_kwargs"] = {**merged["fault_kwargs"], **extra_fault}
+        extra_transport = transport_kwargs.get(merged["transport"])
+        if extra_transport:
+            merged["transport_kwargs"] = {
+                **merged["transport_kwargs"], **extra_transport
+            }
         specs.append(ExperimentSpec.from_dict(merged))
     return specs
 

@@ -38,6 +38,7 @@ from typing import Any
 
 from repro.campaign import Campaign, CampaignResult, sweep
 from repro.compression import available_codecs, codec_entries
+from repro.transport import available_transports, transport_entries
 from repro.core.aggregation import AGGREGATORS
 from repro.core.async_server import STALENESS_DECAYS
 from repro.core.registry import method_entries
@@ -120,6 +121,13 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
                    help="topk codec: fraction of coordinates kept")
     g.add_argument("--quant-bits", type=int, default=None,
                    help="qsgd codec: quantization bits per coordinate")
+    g.add_argument("--transport", default="sim",
+                   choices=available_transports(),
+                   help="execution backend: sim (in-process, default) or "
+                        "live (real worker processes over loopback UDP)")
+    g.add_argument("--workers-live", type=int, default=None,
+                   help="live transport: number of worker processes "
+                        "(default 2)")
     g.add_argument("--aggregator", default=None,
                    choices=sorted(AGGREGATORS),
                    help="fedavg-family aggregation rule (default: each "
@@ -208,7 +216,8 @@ def build_parser() -> argparse.ArgumentParser:
     list_p = sub.add_parser("list", help="show registered components")
     list_p.add_argument("what", nargs="?", default="all",
                         choices=["methods", "datasets", "selections", "envs",
-                                 "codecs", "fleets", "faults", "all"])
+                                 "codecs", "fleets", "faults", "transports",
+                                 "all"])
 
     return p
 
@@ -228,6 +237,9 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
     # Same selected-name rule for the fault axis.
     faults = getattr(args, "faults", "none")
     fault_kwargs = _fault_kwargs_map(args).get(faults, {})
+    # And for the transport axis (--workers-live only lands on live cells).
+    transport = getattr(args, "transport", "sim")
+    transport_kwargs = _transport_kwargs_map(args).get(transport, {})
     # None-valued flags defer to the ExperimentSpec defaults (the same
     # passthrough --het-ratio uses), so spec defaults stay single-sourced.
     units = {
@@ -265,6 +277,8 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         aggregator=getattr(args, "aggregator", None),
         faults=faults,
         fault_kwargs=fault_kwargs,
+        transport=transport,
+        transport_kwargs=transport_kwargs,
         round_deadline=getattr(args, "round_deadline", None),
         over_select=getattr(args, "over_select", None),
         max_retries=getattr(args, "max_retries", None),
@@ -313,6 +327,14 @@ def _fault_kwargs_map(args: argparse.Namespace) -> dict[str, dict]:
     return out
 
 
+def _transport_kwargs_map(args: argparse.Namespace) -> dict[str, dict]:
+    """Per-transport constructor kwargs from CLI conveniences."""
+    out: dict[str, dict] = {}
+    if getattr(args, "workers_live", None) is not None:
+        out["live"] = {"workers": args.workers_live}
+    return out
+
+
 def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
     """``--grid field=v1,v2`` strings -> a :func:`repro.campaign.sweep` grid."""
     grid: dict[str, list[Any]] = {}
@@ -322,8 +344,9 @@ def _parse_grid(pairs: list[str]) -> dict[str, list[Any]]:
         if not eq or not field_name:
             raise ValueError(f"--grid expects FIELD=V1,V2,..., got {pair!r}")
         # "none" is a codec/fault-model *name*, not a null — skip the
-        # null/bool/number coercion on those axes.
-        convert = str if field_name in ("codec", "faults") else _convert
+        # null/bool/number coercion on those axes (and on transport,
+        # whose values are always backend names).
+        convert = str if field_name in ("codec", "faults", "transport") else _convert
         values = [convert(v.strip()) for v in raw_values.split(",") if v.strip()]
         if not values:
             raise ValueError(f"--grid axis {field_name!r} has no values")
@@ -410,6 +433,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{spec.codec}: wire {t['wire_bytes'] / 1e6:.2f} MB "
               f"of {t['raw_bytes'] / 1e6:.2f} MB raw "
               f"({t['compression_ratio']:.1f}x compression)")
+    if result.transport_backend != "sim":
+        t = result.transport
+        print(f"live: {t['live_datagrams_sent']:.0f} datagrams out / "
+              f"{t['live_datagrams_received']:.0f} in, "
+              f"{t['live_retransmits']:.0f} retransmits, "
+              f"{t['live_workers_parked']:.0f} workers parked")
     return 0
 
 
@@ -431,6 +460,7 @@ def _campaign_specs(args: argparse.Namespace, seeds: list[int]) -> list[Experime
         method_kwargs=_method_kwargs_map(methods, args),
         codec_kwargs=_codec_kwargs_map(args),
         fault_kwargs=_fault_kwargs_map(args),
+        transport_kwargs=_transport_kwargs_map(args),
     )
 
 
@@ -522,6 +552,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         lines = ["fault models:"]
         for entry in fault_entries():
             lines.append(f"  {entry.name:<10} {entry.description}")
+        sections.append("\n".join(lines))
+    if args.what in ("transports", "all"):
+        lines = ["transports:"]
+        for entry in transport_entries():
+            lines.append(f"  {entry.name:<6} {entry.description}")
         sections.append("\n".join(lines))
     if args.what in ("fleets", "all"):
         lines = ["fleet profiles:"]

@@ -44,6 +44,8 @@ from repro.simulation.scheduler import (
     completed_units,
     completed_units_array,
 )
+from repro.transport.base import Transport
+from repro.transport.sim import SimTransport
 from repro.utils.config import (
     validate_fraction,
     validate_non_negative,
@@ -174,6 +176,15 @@ class FederatedServer:
         # Last model the population decoded from a server broadcast — the
         # downlink delta/residual reference shared by server and devices.
         self._codec_down_ref: np.ndarray | None = None
+        # Transport backend (repro.transport): who executes a round's
+        # device training and over what medium the bytes move.  The sim
+        # default keeps everything in-process and bit-identical; assigned
+        # post-construction by build_experiment, like selection_policy.
+        self.transport: Transport = SimTransport()
+        self.transport.bind(self)
+        # The round currently executing — non-sim transports need it for
+        # round-scoped transfers issued from round-blind channel calls.
+        self.current_round = 0
         # Fault injection (repro.faults): the null model is fast-pathed —
         # no fault streams are opened, no deadline logic runs.  Assigned
         # post-construction via set_faults, like selection_policy/codec.
@@ -494,38 +505,22 @@ class FederatedServer:
     ) -> None:
         """One training unit per receiver, results into ``stack`` rows.
 
-        The FedAvg-family inner loop.  With live fleet rows the loop runs
-        straight against the trainer — shard slices and stream keys come
-        from fleet arrays, no facade attribute chasing, and the trained
-        vector lands in the device's registered row — which is where the
-        per-object path spent its per-device time.  Otherwise the
-        classic ``run_unit`` choreography keeps every Device contract
-        intact (including the ``weights`` snapshot for drop-fallback).
+        The FedAvg-family inner loop, delegated to the transport backend:
+        the sim default trains in-process (bit-identical to when this
+        loop lived here, see :class:`~repro.transport.sim.SimTransport`);
+        the live backend ships the round to worker processes over UDP and
+        reassembles their uploads into the same rows.
         """
-        if self.rows_live:
-            train = self.trainer.train
-            shard = self.fleet.shard
-            for i, dev_id in enumerate(self.ids_of(receivers).tolist()):
-                train(
-                    global_weights,
-                    shard(dev_id),
-                    int(epochs[i]),
-                    stream_key=(dev_id, round_idx, 0),
-                    anchor=anchor,
-                    mu=mu,
-                    out=stack[i],
-                )
-            return
-        for i, dev in enumerate(receivers):
-            dev.run_unit(
-                global_weights,
-                int(epochs[i]),
-                round_idx,
-                0,
-                anchor=anchor,
-                mu=mu,
-                out=stack[i],
-            )
+        self.transport.train_round(
+            self,
+            receivers,
+            stack,
+            epochs,
+            round_idx,
+            global_weights,
+            anchor=anchor,
+            mu=mu,
+        )
 
     # -------------------------------------------------------- channel API
 
@@ -590,6 +585,10 @@ class FederatedServer:
         """
         if not receivers:
             return [], weights
+        if not self.transport.is_sim:
+            return self.transport.broadcast_model(
+                self, receivers, weights, extra_units, ensure_one
+            )
         codec = self.codec
         if codec.is_identity:
             return self.broadcast(receivers, 1.0 + extra_units, ensure_one), weights
@@ -624,6 +623,10 @@ class FederatedServer:
         """
         if not senders:
             return [], stack
+        if not self.transport.is_sim:
+            return self.transport.collect_models(
+                self, senders, stack, reference, extra_units, ensure_one
+            )
         codec = self.codec
         if codec.is_identity:
             return (
@@ -803,6 +806,7 @@ class FederatedServer:
         """One synchronous round; schedules its successor at the new now."""
         r = ev.payload
         cfg = self.config
+        self.current_round = r
         self._deployed_weights = self.global_weights
         participants = self.select_participants(r)
         self.global_weights = self.run_round(r, participants, self.global_weights)
@@ -871,7 +875,8 @@ class FederatedServer:
                 "seed": cfg.seed,
                 **cfg.extra,
             },
-            transport=self.meter.snapshot(),
+            transport={**self.meter.snapshot(), **self.transport.stats()},
+            transport_backend=self.transport.name,
             resilience=(
                 self.resilience.snapshot()
                 if self.faults_active or self.resilience.active()

@@ -35,6 +35,7 @@ from repro.env.registry import make_environment
 from repro.faults import make_fault_model
 from repro.nn.layers import Flatten
 from repro.nn.models import Sequential, paper_cnn, paper_mlp
+from repro.transport import make_transport
 from repro.utils.config import validate_fraction, validate_positive
 from repro.utils.logging import RunLogger
 
@@ -157,6 +158,11 @@ class ExperimentSpec:
     # Async upload retransmission budget (fedasync/fedbuff); None keeps
     # the method config's default.
     max_retries: int | None = None
+    # Transport backend (repro.transport): "sim" executes everything
+    # in-process (bit-identical to pre-transport runs); "live" runs the
+    # round loop as real OS worker processes over loopback UDP.
+    transport: str = "sim"
+    transport_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.fleet_profile is not None:
@@ -253,12 +259,20 @@ class ExperimentSpec:
             raise ValueError(
                 f"max_retries must be >= 0, got {self.max_retries}"
             )
+        if not isinstance(self.transport_kwargs, dict):
+            raise ValueError(
+                "transport_kwargs must be a dict, "
+                f"got {type(self.transport_kwargs).__name__}"
+            )
         # Raises ValueError for an unknown preset or bad override keys, so
         # a mistyped --env/--grid value fails at spec time, not mid-run.
         make_environment(self.env, **self.env_kwargs)
-        # Same fail-early contract for the codec and fault axes.
+        # Same fail-early contract for the codec, fault and transport axes;
+        # the backend additionally vets the *whole* spec (live supports
+        # only the sync FedAvg family on drop-free, fault-free worlds).
         make_codec(self.codec, **self.codec_kwargs)
         make_fault_model(self.faults, **self.fault_kwargs)
+        make_transport(self.transport, **self.transport_kwargs).validate_spec(self)
 
     def with_method(self, method: str, **method_kwargs) -> "ExperimentSpec":
         """Same experiment, different algorithm — for method comparisons."""
@@ -404,13 +418,24 @@ def build_experiment(
         # disjoint from substrate (+0..+6) and codec (+7) randomness — so
         # arming a model that injects nothing perturbs nothing.
         server.set_faults(make_fault_model(spec.faults, **spec.fault_kwargs))
+    if spec.transport != "sim" or spec.transport_kwargs:
+        # The live backend needs the spec itself: worker processes rebuild
+        # the whole substrate from it (same seeds -> identical shards,
+        # model init and training streams).  Sockets open lazily at the
+        # first broadcast, so building a live spec stays side-effect free.
+        server.transport = make_transport(spec.transport, **spec.transport_kwargs)
+        server.transport.bind(server, spec)
     return server
 
 
 def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
     """Build and run; returns the :class:`~repro.simulation.results.RunResult`."""
     server = build_experiment(spec, logger=logger)
-    result = server.fit()
+    try:
+        result = server.fit()
+    finally:
+        # Live worker processes must die with the run, success or not.
+        server.transport.shutdown()
     result.config.update(
         dataset=spec.dataset,
         partition=spec.partition,
@@ -437,6 +462,10 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
         result.config["faults"] = spec.faults
     if spec.fault_kwargs:
         result.config["fault_kwargs"] = dict(spec.fault_kwargs)
+    if spec.transport != "sim":
+        result.config["transport"] = spec.transport
+    if spec.transport_kwargs:
+        result.config["transport_kwargs"] = dict(spec.transport_kwargs)
     if spec.round_deadline is not None:
         result.config["round_deadline"] = spec.round_deadline
     if spec.over_select is not None:

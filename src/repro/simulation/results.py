@@ -27,6 +27,10 @@ class RunResult:
     injected/detected/retried/dropped counts, deadline hits, wasted
     device-time); empty when no fault model or deadline was active, and
     for payloads that predate the fault subsystem.
+    ``transport_backend`` names the transport that executed the run
+    (``"sim"`` — also the default for older payloads — or ``"live"``,
+    in which case ``transport`` additionally carries the ``live_``-
+    prefixed datagram-level counters).
     """
 
     method: str
@@ -37,6 +41,7 @@ class RunResult:
     config: dict[str, Any] = field(default_factory=dict)
     transport: dict[str, float] = field(default_factory=dict)
     resilience: dict[str, float] = field(default_factory=dict)
+    transport_backend: str = "sim"
 
     @property
     def final_accuracy(self) -> float:
@@ -78,6 +83,7 @@ class RunResult:
             "config": dict(self.config),
             "transport": dict(self.transport),
             "resilience": dict(self.resilience),
+            "transport_backend": self.transport_backend,
         }
 
     @classmethod
@@ -93,6 +99,7 @@ class RunResult:
             config=dict(data["config"]),
             transport=dict(data.get("transport", {})),
             resilience=dict(data.get("resilience", {})),
+            transport_backend=data.get("transport_backend", "sim"),
         )
 
     def summary(self) -> dict[str, Any]:
@@ -109,6 +116,8 @@ class RunResult:
             ),
             "rounds": len(self.history.rounds),
         }
+        if self.transport_backend != "sim":
+            out["transport_backend"] = self.transport_backend
         if self.transport:
             if self.transport.get("wire_bytes") is not None:
                 out["wire_bytes"] = self.transport["wire_bytes"]

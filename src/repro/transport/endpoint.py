@@ -1,0 +1,291 @@
+"""One UDP endpoint of the live transport: socket + pump + reliability.
+
+Both the coordinator and every worker own exactly one :class:`Endpoint`.
+It wraps one datagram socket on the loopback interface and provides:
+
+* **handler-registry dispatch** — :meth:`on` registers a callable per
+  message type; :meth:`pump` reads datagrams and dispatches.  Control
+  messages (JOIN, HEARTBEAT, ...) dispatch per datagram; reliable types
+  (ROUND, MODEL, UPDATE) dispatch once per *completed* transfer, with
+  the reassembled payload.
+* **chunked reliable transfer** — :meth:`send_blob` splits a payload
+  into ``chunk_bytes`` pieces; every chunk is retransmitted on an ``rto``
+  timer until the peer acks it, up to ``max_attempts`` sends, after
+  which the transfer is abandoned and counted as a failure.  Receivers
+  ack every chunk (duplicates included — an ack may have been lost) and
+  deduplicate completed transfers so a handler never fires twice.
+* **exact accounting** — every datagram and payload byte in either
+  direction lands in the shared :class:`LiveTransportStats`.
+
+The pump is single-threaded and non-blocking (``select`` with a
+timeout); callers drive it from their own loop, so there is no
+cross-thread state to lock.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import time
+from typing import Callable
+
+from repro.transport.base import LiveTransportStats
+from repro.transport.frames import (
+    MSG_ACK,
+    NO_DEVICE,
+    RELIABLE_TYPES,
+    Frame,
+    Reassembler,
+    chunk_payload,
+    pack_frame,
+    unpack_frame,
+)
+
+__all__ = ["Endpoint"]
+
+Addr = tuple[str, int]
+Handler = Callable[[Frame, bytes, Addr], None]
+
+#: Receive buffer request — a full model broadcast can burst hundreds of
+#: chunks before the receiver's pump runs; the default 208KiB buffer
+#: drops the tail and turns every broadcast into an rto stall.
+_RCVBUF_BYTES = 1 << 22
+
+
+class _Outbound:
+    """Sender-side state of one reliable transfer."""
+
+    __slots__ = ("addr", "frames", "unacked", "last_send", "sends")
+
+    def __init__(self, addr: Addr, frames: list[bytes]) -> None:
+        self.addr = addr
+        self.frames = frames
+        self.unacked = set(range(len(frames)))
+        self.last_send = 0.0
+        self.sends = 0
+
+
+class Endpoint:
+    def __init__(
+        self,
+        rank: int,
+        stats: LiveTransportStats | None = None,
+        chunk_bytes: int = 1200,
+        rto: float = 0.05,
+        max_attempts: int = 20,
+    ) -> None:
+        self.rank = int(rank)
+        self.stats = stats if stats is not None else LiveTransportStats()
+        self.chunk_bytes = int(chunk_bytes)
+        self.rto = float(rto)
+        self.max_attempts = int(max_attempts)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, _RCVBUF_BYTES)
+        except OSError:  # pragma: no cover - kernel said no; run anyway
+            pass
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.setblocking(False)
+        self._handlers: dict[int, Handler] = {}
+        self._reasm = Reassembler()
+        # (acked msg_type, round_idx, device_id, dest addr) -> _Outbound
+        self._outbound: dict[tuple[int, int, int, Addr], _Outbound] = {}
+        # Completed inbound transfer keys: ack duplicates, dispatch once.
+        self._delivered: set[tuple[int, int, int, int]] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def port(self) -> int:
+        return self.sock.getsockname()[1]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.sock.close()
+
+    def on(self, msg_type: int, handler: Handler) -> None:
+        """Register ``handler(frame, payload, addr)`` for ``msg_type``."""
+        self._handlers[msg_type] = handler
+
+    # ------------------------------------------------------------- sending
+
+    def _send_datagram(self, data: bytes, addr: Addr) -> None:
+        try:
+            self.sock.sendto(data, addr)
+        except OSError:
+            # A full send buffer or a torn-down peer socket: the chunk
+            # retransmit timer (or the caller's own retry) recovers.
+            return
+        self.stats.datagrams_sent += 1
+
+    def send_control(
+        self,
+        msg_type: int,
+        addr: Addr,
+        *,
+        kind: int = 0,
+        param: int = 0,
+        round_idx: int = 0,
+        device_id: int = NO_DEVICE,
+        payload: bytes = b"",
+    ) -> None:
+        """Fire one unreliable datagram (JOIN/HEARTBEAT/SHUTDOWN/...)."""
+        self._send_datagram(
+            pack_frame(
+                msg_type,
+                kind=kind,
+                param=param,
+                rank=self.rank,
+                round_idx=round_idx,
+                device_id=device_id,
+                total_len=len(payload),
+                payload=payload,
+            ),
+            addr,
+        )
+
+    def send_blob(
+        self,
+        msg_type: int,
+        addr: Addr,
+        payload: bytes,
+        *,
+        kind: int = 0,
+        param: int = 0,
+        round_idx: int = 0,
+        device_id: int = NO_DEVICE,
+        dim: int = 0,
+    ) -> None:
+        """Start one reliable chunked transfer (ROUND/MODEL/UPDATE)."""
+        if msg_type not in RELIABLE_TYPES:
+            raise ValueError(f"msg_type {msg_type} is not a reliable type")
+        chunks = chunk_payload(payload, self.chunk_bytes)
+        frames = [
+            pack_frame(
+                msg_type,
+                kind=kind,
+                param=param,
+                rank=self.rank,
+                round_idx=round_idx,
+                device_id=device_id,
+                dim=dim,
+                total_len=len(payload),
+                chunk_idx=i,
+                chunk_count=len(chunks),
+                payload=chunk,
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+        key = (msg_type, round_idx, device_id, addr)
+        # A re-send of the same transfer replaces the old state wholesale.
+        out = _Outbound(addr, frames)
+        self._outbound[key] = out
+        self._transmit(out)
+        self.stats.payload_bytes_sent += len(payload)
+
+    def _transmit(self, out: _Outbound) -> None:
+        for i in sorted(out.unacked):
+            self._send_datagram(out.frames[i], out.addr)
+        out.sends += 1
+        out.last_send = time.monotonic()
+
+    @property
+    def pending_sends(self) -> int:
+        """Reliable transfers still awaiting full acknowledgement."""
+        return len(self._outbound)
+
+    # ----------------------------------------------------------- receiving
+
+    def pump(self, timeout: float = 0.0) -> int:
+        """Process inbound datagrams and due retransmits.
+
+        Waits up to ``timeout`` seconds for the *first* datagram, then
+        drains whatever is queued without blocking.  Returns the number
+        of datagrams processed.
+        """
+        if self._closed:
+            return 0
+        processed = 0
+        wait = max(0.0, timeout)
+        while True:
+            ready, _, _ = select.select([self.sock], [], [], wait)
+            wait = 0.0
+            if not ready:
+                break
+            while True:
+                try:
+                    data, addr = self.sock.recvfrom(65535)
+                except BlockingIOError:
+                    break
+                except OSError:  # pragma: no cover - closed under our feet
+                    return processed
+                processed += 1
+                self.stats.datagrams_received += 1
+                frame = unpack_frame(data)
+                if frame is not None:
+                    self._dispatch(frame, addr)
+            break
+        self._retransmit_due()
+        self.stats.reassembly_failures = self._reasm.failures
+        return processed
+
+    def _dispatch(self, frame: Frame, addr: Addr) -> None:
+        if frame.msg_type == MSG_ACK:
+            # kind carries the acked message type; chunk_idx the chunk.
+            key = (frame.kind, frame.round_idx, frame.device_id, addr)
+            out = self._outbound.get(key)
+            if out is not None:
+                out.unacked.discard(frame.chunk_idx)
+                if not out.unacked:
+                    del self._outbound[key]
+            return
+        if frame.msg_type in RELIABLE_TYPES:
+            # Always ack — the sender may be retransmitting a chunk whose
+            # previous ack was lost.
+            self._send_datagram(
+                pack_frame(
+                    MSG_ACK,
+                    kind=frame.msg_type,
+                    rank=self.rank,
+                    round_idx=frame.round_idx,
+                    device_id=frame.device_id,
+                    chunk_idx=frame.chunk_idx,
+                ),
+                addr,
+            )
+            if frame.transfer_key in self._delivered:
+                return
+            blob = self._reasm.add(frame)
+            if blob is None:
+                return
+            self._delivered.add(frame.transfer_key)
+            self.stats.payload_bytes_received += len(blob)
+            handler = self._handlers.get(frame.msg_type)
+            if handler is not None:
+                handler(frame, blob, addr)
+            return
+        handler = self._handlers.get(frame.msg_type)
+        if handler is not None:
+            handler(frame, frame.payload, addr)
+
+    def _retransmit_due(self) -> None:
+        now = time.monotonic()
+        for key, out in list(self._outbound.items()):
+            if now - out.last_send < self.rto:
+                continue
+            if out.sends >= self.max_attempts:
+                # Peer is gone (or hopelessly lossy): abandon, count it.
+                del self._outbound[key]
+                self._reasm.failures += 1
+                continue
+            self.stats.retransmits += len(out.unacked)
+            self._transmit(out)
+
+    def forget_peer(self, addr: Addr, rank: int) -> None:
+        """Drop all reliability state tied to a dead peer."""
+        for key in [k for k, o in self._outbound.items() if o.addr == addr]:
+            del self._outbound[key]
+        self._reasm.discard_rank(rank)
+        self.stats.reassembly_failures = self._reasm.failures

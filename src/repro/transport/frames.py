@@ -1,0 +1,260 @@
+"""The live transport's framed datagram protocol.
+
+Every UDP datagram is one fixed 28-byte header plus a chunk payload::
+
+    !4s B  B    B     B    I         I          I    I          H          H
+    magic typ  kind  param rank round_idx device_id  dim  total_len  chunk_idx chunk_count
+
+* ``magic`` pins protocol + version (``b"RFT1"``) so stray datagrams are
+  dropped, never mis-parsed.
+* ``typ`` is the message type (:data:`MSG_NAMES`).
+* ``kind``/``param``/``dim`` carry the codec payload's out-of-band
+  metadata (:data:`repro.compression.base.PAYLOAD_KIND_CODES`, qsgd's bit
+  width, the flat model dimension) for MODEL/UPDATE transfers; for an
+  ACK, ``kind`` holds the *acked* message type instead.
+* ``rank`` identifies the sender (worker rank; 255 = coordinator).
+* ``round_idx``/``device_id`` scope the transfer: a transfer is keyed by
+  ``(typ, sender rank, round_idx, device_id)``, so a late retransmit from
+  a previous round can never corrupt the current one.
+* ``total_len``/``chunk_idx``/``chunk_count`` drive chunked reassembly:
+  payloads larger than one datagram are split into ``chunk_count``
+  pieces of at most ``chunk_bytes``; every chunk is individually acked
+  and retransmitted until acked (see :mod:`repro.transport.endpoint`).
+
+:class:`Reassembler` rebuilds inbound transfers chunk by chunk and
+guards against mixed-metadata corruption; the sender-side ack/retransmit
+state lives with the :class:`~repro.transport.endpoint.Endpoint`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAGIC",
+    "HEADER_FMT",
+    "HEADER_SIZE",
+    "COORDINATOR_RANK",
+    "NO_DEVICE",
+    "MSG_JOIN",
+    "MSG_JOIN_ACK",
+    "MSG_ROUND",
+    "MSG_MODEL",
+    "MSG_UPDATE",
+    "MSG_ACK",
+    "MSG_HEARTBEAT",
+    "MSG_SHUTDOWN",
+    "MSG_BYE",
+    "MSG_NAMES",
+    "Frame",
+    "pack_frame",
+    "unpack_frame",
+    "chunk_payload",
+    "Reassembler",
+]
+
+MAGIC = b"RFT1"
+HEADER_FMT = "!4sBBBBIIIIHH"
+HEADER_SIZE = struct.calcsize(HEADER_FMT)  # 28 bytes
+
+#: Sender ranks are worker indices; the coordinator claims the top value.
+COORDINATOR_RANK = 255
+#: ``device_id`` sentinel for transfers not scoped to one device.
+NO_DEVICE = 0xFFFFFFFF
+
+MSG_JOIN = 1  # worker -> coordinator: here I am (retried until acked)
+MSG_JOIN_ACK = 2  # coordinator -> worker: registered
+MSG_ROUND = 3  # coordinator -> worker: round control JSON (chunked)
+MSG_MODEL = 4  # coordinator -> worker: encoded global model (chunked)
+MSG_UPDATE = 5  # worker -> coordinator: one device's encoded update (chunked)
+MSG_ACK = 6  # either way: ack of one chunk of a reliable transfer
+MSG_HEARTBEAT = 7  # worker -> coordinator liveness beat (and back)
+MSG_SHUTDOWN = 8  # coordinator -> worker: drain and exit
+MSG_BYE = 9  # worker -> coordinator: exiting
+
+MSG_NAMES = {
+    MSG_JOIN: "join",
+    MSG_JOIN_ACK: "join_ack",
+    MSG_ROUND: "round",
+    MSG_MODEL: "model",
+    MSG_UPDATE: "update",
+    MSG_ACK: "ack",
+    MSG_HEARTBEAT: "heartbeat",
+    MSG_SHUTDOWN: "shutdown",
+    MSG_BYE: "bye",
+}
+
+#: Reliable (chunked + acked + retransmitted) message types; everything
+#: else is fire-and-forget control traffic with app-level retry where it
+#: matters (JOIN) or none where it does not (heartbeats).
+RELIABLE_TYPES = frozenset({MSG_ROUND, MSG_MODEL, MSG_UPDATE})
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One parsed datagram: header fields plus the chunk payload."""
+
+    msg_type: int
+    kind: int
+    param: int
+    rank: int
+    round_idx: int
+    device_id: int
+    dim: int
+    total_len: int
+    chunk_idx: int
+    chunk_count: int
+    payload: bytes
+
+    @property
+    def transfer_key(self) -> tuple[int, int, int, int]:
+        """(msg_type, sender rank, round, device) — the reassembly key."""
+        return (self.msg_type, self.rank, self.round_idx, self.device_id)
+
+
+def pack_frame(
+    msg_type: int,
+    *,
+    kind: int = 0,
+    param: int = 0,
+    rank: int = 0,
+    round_idx: int = 0,
+    device_id: int = NO_DEVICE,
+    dim: int = 0,
+    total_len: int = 0,
+    chunk_idx: int = 0,
+    chunk_count: int = 1,
+    payload: bytes = b"",
+) -> bytes:
+    """Serialize one datagram."""
+    return (
+        struct.pack(
+            HEADER_FMT,
+            MAGIC,
+            msg_type,
+            kind,
+            param,
+            rank,
+            round_idx,
+            device_id,
+            dim,
+            total_len,
+            chunk_idx,
+            chunk_count,
+        )
+        + payload
+    )
+
+
+def unpack_frame(data: bytes) -> Frame | None:
+    """Parse one datagram; None for anything that is not ours."""
+    if len(data) < HEADER_SIZE:
+        return None
+    (magic, msg_type, kind, param, rank, round_idx, device_id, dim,
+     total_len, chunk_idx, chunk_count) = struct.unpack_from(HEADER_FMT, data)
+    if magic != MAGIC or msg_type not in MSG_NAMES:
+        return None
+    return Frame(
+        msg_type=msg_type,
+        kind=kind,
+        param=param,
+        rank=rank,
+        round_idx=round_idx,
+        device_id=device_id,
+        dim=dim,
+        total_len=total_len,
+        chunk_idx=chunk_idx,
+        chunk_count=chunk_count,
+        payload=data[HEADER_SIZE:],
+    )
+
+
+def chunk_payload(data: bytes, chunk_bytes: int) -> list[bytes]:
+    """Split ``data`` into at-most-``chunk_bytes`` pieces (>= 1 piece —
+    an empty payload still travels as one empty chunk)."""
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    if not data:
+        return [b""]
+    return [data[i:i + chunk_bytes] for i in range(0, len(data), chunk_bytes)]
+
+
+@dataclass
+class _Partial:
+    """One in-flight inbound transfer."""
+
+    kind: int
+    param: int
+    dim: int
+    total_len: int
+    chunk_count: int
+    parts: dict[int, bytes] = field(default_factory=dict)
+
+    def matches(self, frame: Frame) -> bool:
+        return (
+            self.kind == frame.kind
+            and self.param == frame.param
+            and self.dim == frame.dim
+            and self.total_len == frame.total_len
+            and self.chunk_count == frame.chunk_count
+        )
+
+
+class Reassembler:
+    """Rebuilds chunked transfers; duplicate chunks are idempotent.
+
+    ``add(frame)`` returns the completed payload bytes when ``frame``
+    finishes its transfer, else None.  A frame whose metadata disagrees
+    with the partial transfer it claims to extend (a corrupted or
+    protocol-confused sender) drops the partial and counts a failure —
+    the transfer restarts cleanly from the conflicting frame.
+    """
+
+    def __init__(self) -> None:
+        self._partials: dict[tuple[int, int, int, int], _Partial] = {}
+        self.failures = 0
+
+    def __len__(self) -> int:
+        return len(self._partials)
+
+    def add(self, frame: Frame) -> bytes | None:
+        key = frame.transfer_key
+        partial = self._partials.get(key)
+        if partial is not None and not partial.matches(frame):
+            self.failures += 1
+            del self._partials[key]
+            partial = None
+        if partial is None:
+            partial = _Partial(
+                kind=frame.kind,
+                param=frame.param,
+                dim=frame.dim,
+                total_len=frame.total_len,
+                chunk_count=frame.chunk_count,
+            )
+            self._partials[key] = partial
+        if frame.chunk_idx >= frame.chunk_count:
+            self.failures += 1
+            del self._partials[key]
+            return None
+        partial.parts[frame.chunk_idx] = frame.payload
+        if len(partial.parts) < partial.chunk_count:
+            return None
+        del self._partials[key]
+        blob = b"".join(partial.parts[i] for i in range(partial.chunk_count))
+        if len(blob) != partial.total_len:
+            self.failures += 1
+            return None
+        return blob
+
+    def discard(self, key: tuple[int, int, int, int]) -> None:
+        """Drop a partial transfer (its sender was declared dead)."""
+        if key in self._partials:
+            self._partials.pop(key)
+            self.failures += 1
+
+    def discard_rank(self, rank: int) -> None:
+        """Drop every partial transfer from ``rank``."""
+        for key in [k for k in self._partials if k[1] == rank]:
+            self.discard(key)

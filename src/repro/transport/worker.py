@@ -1,0 +1,237 @@
+"""The live transport's worker process.
+
+Each worker rebuilds the full experiment substrate from the spec dict
+(same seeds → bit-identical shards, model init and training streams as
+the coordinator's own simulator would produce), claims the devices with
+``device_id % num_workers == rank``, and then runs a handler-registry
+dispatch loop against its UDP endpoint:
+
+* JOIN (retried) until the coordinator acks registration,
+* per round: a ROUND control message (which devices, how many epochs,
+  proximal settings) plus a MODEL transfer (the encoded global model);
+  once *both* have arrived for the same round the worker trains its
+  owned devices and streams one UPDATE transfer per device back,
+* HEARTBEAT beats on a timer so the coordinator's failure detector has
+  a liveness signal to miss,
+* SHUTDOWN → BYE → exit; and if the coordinator goes silent past the
+  idle timeout the worker exits on its own (an orphaned worker never
+  outlives a killed run).
+
+Decode/encode mirrors the server's channel legs exactly: downlink
+payloads decode against the worker's own reference chain (seeded by the
+same dense fallback the server uses on first contact), uplink updates
+encode per-device with ``key=device_id, reference=view`` — so the bytes
+the coordinator reassembles are the bytes the simulator would have
+charged for.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.compression.base import PAYLOAD_KIND_CODES, PAYLOAD_KINDS, Encoded
+from repro.transport.endpoint import Addr, Endpoint
+from repro.transport.frames import (
+    MSG_BYE,
+    MSG_HEARTBEAT,
+    MSG_JOIN,
+    MSG_JOIN_ACK,
+    MSG_MODEL,
+    MSG_ROUND,
+    MSG_SHUTDOWN,
+    MSG_UPDATE,
+    Frame,
+)
+
+__all__ = ["worker_main"]
+
+
+class _Worker:
+    def __init__(
+        self,
+        spec_dict: dict,
+        rank: int,
+        num_workers: int,
+        coord_addr: Addr,
+        chunk_bytes: int,
+        rto: float,
+        max_attempts: int,
+        heartbeat_interval: float,
+        join_timeout: float,
+        idle_timeout: float,
+    ) -> None:
+        # Deferred import: worker processes import the package fresh under
+        # fork/spawn and experiments -> transport is already a cycle edge.
+        from repro.experiments import ExperimentSpec, build_experiment
+
+        spec = ExperimentSpec.from_dict(
+            {**spec_dict, "transport": "sim", "transport_kwargs": {}}
+        )
+        server = build_experiment(spec)
+        self.trainer = server.trainer
+        self.fleet = server.fleet
+        self.codec = server.codec
+        self.dim = server.trainer.model.dim
+        self.rank = rank
+        self.owned = {
+            int(dev_id)
+            for dev_id in range(spec.num_devices)
+            if dev_id % num_workers == rank
+        }
+        self.coord = coord_addr
+        self.heartbeat_interval = heartbeat_interval
+        self.join_timeout = join_timeout
+        self.idle_timeout = idle_timeout
+        self.ep = Endpoint(
+            rank, chunk_bytes=chunk_bytes, rto=rto, max_attempts=max_attempts
+        )
+        self.joined = False
+        self.running = True
+        self.last_from_coord = time.monotonic()
+        self.last_beat = 0.0
+        # round_idx -> parsed control / decoded model view; a round trains
+        # once both halves are present.
+        self._controls: dict[int, dict] = {}
+        self._views: dict[int, np.ndarray] = {}
+        self._trained: set[int] = set()
+        self._down_ref: np.ndarray | None = None
+
+        self.ep.on(MSG_JOIN_ACK, self._on_join_ack)
+        self.ep.on(MSG_ROUND, self._on_round)
+        self.ep.on(MSG_MODEL, self._on_model)
+        self.ep.on(MSG_SHUTDOWN, self._on_shutdown)
+
+    # ------------------------------------------------------------ handlers
+
+    def _on_join_ack(self, frame: Frame, payload: bytes, addr: Addr) -> None:
+        self.joined = True
+        self.last_from_coord = time.monotonic()
+
+    def _on_shutdown(self, frame: Frame, payload: bytes, addr: Addr) -> None:
+        self.running = False
+
+    def _on_round(self, frame: Frame, payload: bytes, addr: Addr) -> None:
+        self.last_from_coord = time.monotonic()
+        self._controls[frame.round_idx] = json.loads(payload.decode("utf-8"))
+        self._maybe_train(frame.round_idx)
+
+    def _on_model(self, frame: Frame, payload: bytes, addr: Addr) -> None:
+        self.last_from_coord = time.monotonic()
+        kind = PAYLOAD_KINDS.get(frame.kind)
+        if kind is None:
+            return
+        if kind == "raw":
+            view = np.frombuffer(payload, dtype=np.float64).copy()
+        else:
+            enc = Encoded.from_bytes(
+                payload, kind, frame.dim,
+                reference=self._down_ref, param=frame.param,
+            )
+            view = self.codec.decode(enc)
+            # Mirror the server's downlink reference chain.
+            self._down_ref = view
+        self._views[frame.round_idx] = view
+        self._maybe_train(frame.round_idx)
+
+    # ------------------------------------------------------------ training
+
+    def _maybe_train(self, round_idx: int) -> None:
+        if round_idx in self._trained:
+            return
+        control = self._controls.get(round_idx)
+        view = self._views.get(round_idx)
+        if control is None or view is None:
+            return
+        self._trained.add(round_idx)
+        mu = float(control.get("mu", 0.0))
+        anchor = view if control.get("anchor") else None
+        identity = self.codec.is_identity
+        for dev_id, epochs in control["devices"]:
+            dev_id = int(dev_id)
+            if dev_id not in self.owned:
+                continue
+            new_w, _steps = self.trainer.train(
+                view,
+                self.fleet.shard(dev_id),
+                int(epochs),
+                stream_key=(dev_id, round_idx, 0),
+                anchor=anchor,
+                mu=mu,
+            )
+            if identity:
+                blob = np.ascontiguousarray(new_w, dtype=np.float64).tobytes()
+                kind_code, param = PAYLOAD_KIND_CODES["raw"], 0
+            else:
+                enc = self.codec.encode(new_w, key=dev_id, reference=view)
+                blob = enc.to_bytes()
+                kind_code, param = PAYLOAD_KIND_CODES[enc.kind], enc.param
+            self.ep.send_blob(
+                MSG_UPDATE,
+                self.coord,
+                blob,
+                kind=kind_code,
+                param=param,
+                round_idx=round_idx,
+                device_id=dev_id,
+                dim=self.dim,
+            )
+        # Trained rounds' inputs are dead weight; drop everything older.
+        for stale in [r for r in self._views if r < round_idx]:
+            self._views.pop(stale, None)
+            self._controls.pop(stale, None)
+
+    # ---------------------------------------------------------------- loop
+
+    def run(self) -> None:
+        join_deadline = time.monotonic() + self.join_timeout
+        next_join = 0.0
+        try:
+            while self.running:
+                now = time.monotonic()
+                if not self.joined:
+                    if now >= join_deadline:
+                        return
+                    if now >= next_join:
+                        self.ep.send_control(MSG_JOIN, self.coord)
+                        next_join = now + 0.2
+                elif now - self.last_beat >= self.heartbeat_interval:
+                    self.ep.send_control(MSG_HEARTBEAT, self.coord)
+                    self.last_beat = now
+                if now - self.last_from_coord > self.idle_timeout:
+                    # Orphaned: the coordinator died without a SHUTDOWN.
+                    return
+                self.ep.pump(timeout=0.02)
+        finally:
+            self.ep.send_control(MSG_BYE, self.coord)
+            self.ep.close()
+
+
+def worker_main(
+    spec_dict: dict,
+    rank: int,
+    num_workers: int,
+    coord_port: int,
+    chunk_bytes: int = 1200,
+    rto: float = 0.05,
+    max_attempts: int = 20,
+    heartbeat_interval: float = 0.25,
+    join_timeout: float = 15.0,
+    idle_timeout: float = 60.0,
+) -> None:
+    """Process entry point: build the substrate, join, serve rounds."""
+    worker = _Worker(
+        spec_dict,
+        rank,
+        num_workers,
+        ("127.0.0.1", coord_port),
+        chunk_bytes,
+        rto,
+        max_attempts,
+        heartbeat_interval,
+        join_timeout,
+        idle_timeout,
+    )
+    worker.run()

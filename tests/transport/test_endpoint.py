@@ -1,0 +1,126 @@
+"""Two in-process endpoints over real loopback UDP: reliability layer."""
+
+import time
+
+import pytest
+
+from repro.transport.endpoint import Endpoint
+from repro.transport.frames import (
+    MSG_HEARTBEAT,
+    MSG_MODEL,
+    MSG_UPDATE,
+)
+
+
+@pytest.fixture
+def pair():
+    a = Endpoint(rank=0, chunk_bytes=64, rto=0.02, max_attempts=10)
+    b = Endpoint(rank=1, chunk_bytes=64, rto=0.02, max_attempts=10)
+    yield a, b
+    a.close()
+    b.close()
+
+
+def addr(ep):
+    return ("127.0.0.1", ep.port)
+
+
+def pump_both(a, b, until, deadline=5.0):
+    end = time.monotonic() + deadline
+    while not until():
+        a.pump(timeout=0.005)
+        b.pump(timeout=0.005)
+        if time.monotonic() > end:
+            raise AssertionError("endpoints never converged")
+
+
+class TestControl:
+    def test_control_datagram_dispatches(self, pair):
+        a, b = pair
+        got = []
+        b.on(MSG_HEARTBEAT, lambda f, p, ad: got.append((f.rank, p)))
+        a.send_control(MSG_HEARTBEAT, addr(b), payload=b"beat")
+        pump_both(a, b, lambda: got)
+        assert got == [(0, b"beat")]
+
+    def test_unregistered_type_is_ignored(self, pair):
+        a, b = pair
+        a.send_control(MSG_HEARTBEAT, addr(b))
+        b.pump(timeout=0.2)
+        assert b.stats.datagrams_received == 1
+
+
+class TestReliableTransfer:
+    def test_multi_chunk_blob_reassembles(self, pair):
+        a, b = pair
+        blob = bytes(i % 251 for i in range(1000))
+        got = []
+        b.on(MSG_MODEL, lambda f, p, ad: got.append((f.round_idx, p)))
+        a.send_blob(MSG_MODEL, addr(b), blob, round_idx=4, dim=125)
+        pump_both(a, b, lambda: got)
+        assert got == [(4, blob)]
+
+    def test_acks_clear_pending_state(self, pair):
+        a, b = pair
+        b.on(MSG_MODEL, lambda f, p, ad: None)
+        a.send_blob(MSG_MODEL, addr(b), b"x" * 500)
+        assert a.pending_sends == 1
+        pump_both(a, b, lambda: a.pending_sends == 0)
+
+    def test_duplicate_transfer_delivers_once(self, pair):
+        a, b = pair
+        got = []
+        b.on(MSG_UPDATE, lambda f, p, ad: got.append(p))
+        # Same (type, round, device) sent twice — e.g. a worker retrying.
+        a.send_blob(MSG_UPDATE, addr(b), b"u" * 100, round_idx=1, device_id=3)
+        a.send_blob(MSG_UPDATE, addr(b), b"u" * 100, round_idx=1, device_id=3)
+        pump_both(a, b, lambda: a.pending_sends == 0)
+        assert got == [b"u" * 100]
+
+    def test_empty_payload_travels(self, pair):
+        a, b = pair
+        got = []
+        b.on(MSG_MODEL, lambda f, p, ad: got.append(p))
+        a.send_blob(MSG_MODEL, addr(b), b"")
+        pump_both(a, b, lambda: got)
+        assert got == [b""]
+
+    def test_payload_byte_accounting_is_exact(self, pair):
+        a, b = pair
+        blob = b"z" * 777
+        b.on(MSG_MODEL, lambda f, p, ad: None)
+        a.send_blob(MSG_MODEL, addr(b), blob)
+        pump_both(a, b, lambda: a.pending_sends == 0)
+        assert a.stats.payload_bytes_sent == 777
+        assert b.stats.payload_bytes_received == 777
+
+
+class TestRetransmission:
+    def test_unpumped_receiver_triggers_retransmits(self, pair):
+        a, b = pair
+        a.send_blob(MSG_MODEL, addr(b), b"x" * 200)
+        time.sleep(0.03)  # past rto with b never pumping
+        a.pump(timeout=0.0)
+        assert a.stats.retransmits > 0
+
+    def test_dead_peer_abandons_after_max_attempts(self):
+        a = Endpoint(rank=0, chunk_bytes=64, rto=0.005, max_attempts=3)
+        try:
+            dead = Endpoint(rank=1)
+            port = dead.port
+            dead.close()
+            a.send_blob(MSG_MODEL, ("127.0.0.1", port), b"x" * 100)
+            deadline = time.monotonic() + 2.0
+            while a.pending_sends and time.monotonic() < deadline:
+                a.pump(timeout=0.01)
+            assert a.pending_sends == 0
+            assert a.stats.reassembly_failures >= 1
+        finally:
+            a.close()
+
+    def test_forget_peer_drops_outbound(self, pair):
+        a, b = pair
+        a.send_blob(MSG_MODEL, addr(b), b"x" * 500)
+        assert a.pending_sends == 1
+        a.forget_peer(addr(b), rank=1)
+        assert a.pending_sends == 0

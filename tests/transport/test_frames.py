@@ -1,0 +1,147 @@
+"""The datagram frame format and chunk reassembly."""
+
+import pytest
+
+from repro.transport.frames import (
+    HEADER_SIZE,
+    MAGIC,
+    MSG_ACK,
+    MSG_HEARTBEAT,
+    MSG_MODEL,
+    MSG_NAMES,
+    MSG_UPDATE,
+    NO_DEVICE,
+    RELIABLE_TYPES,
+    Frame,
+    Reassembler,
+    chunk_payload,
+    pack_frame,
+    unpack_frame,
+)
+
+
+def frame(msg_type=MSG_MODEL, **kw):
+    defaults = dict(
+        kind=1, param=0, rank=3, round_idx=7, device_id=NO_DEVICE,
+        dim=10, total_len=0, chunk_idx=0, chunk_count=1, payload=b"",
+    )
+    defaults.update(kw)
+    return Frame(msg_type=msg_type, **defaults)
+
+
+class TestHeader:
+    def test_pack_unpack_round_trip(self):
+        data = pack_frame(
+            MSG_UPDATE, kind=2, param=4, rank=1, round_idx=9,
+            device_id=5, dim=123, total_len=999, chunk_idx=3,
+            chunk_count=7, payload=b"hello",
+        )
+        f = unpack_frame(data)
+        assert f is not None
+        assert (f.msg_type, f.kind, f.param, f.rank) == (MSG_UPDATE, 2, 4, 1)
+        assert (f.round_idx, f.device_id, f.dim) == (9, 5, 123)
+        assert (f.total_len, f.chunk_idx, f.chunk_count) == (999, 3, 7)
+        assert f.payload == b"hello"
+
+    def test_header_is_28_bytes(self):
+        assert HEADER_SIZE == 28
+        assert len(pack_frame(MSG_HEARTBEAT)) == HEADER_SIZE
+
+    def test_rejects_short_bad_magic_and_unknown_type(self):
+        assert unpack_frame(b"tiny") is None
+        good = pack_frame(MSG_HEARTBEAT)
+        assert unpack_frame(b"XXXX" + good[len(MAGIC):]) is None
+        bad_type = bytearray(good)
+        bad_type[4] = 200  # not in MSG_NAMES
+        assert unpack_frame(bytes(bad_type)) is None
+
+    def test_every_type_has_a_name_and_reliables_are_typed(self):
+        assert RELIABLE_TYPES < set(MSG_NAMES)
+        assert MSG_ACK in MSG_NAMES
+
+    def test_transfer_key_scopes_by_type_rank_round_device(self):
+        a = frame(rank=1, round_idx=2, device_id=3)
+        assert a.transfer_key == (MSG_MODEL, 1, 2, 3)
+
+
+class TestChunking:
+    def test_split_sizes(self):
+        parts = chunk_payload(b"x" * 25, 10)
+        assert [len(p) for p in parts] == [10, 10, 5]
+
+    def test_exact_multiple_and_empty(self):
+        assert [len(p) for p in chunk_payload(b"x" * 20, 10)] == [10, 10]
+        assert chunk_payload(b"", 10) == [b""]
+
+    def test_bad_chunk_bytes(self):
+        with pytest.raises(ValueError, match="positive"):
+            chunk_payload(b"x", 0)
+
+
+class TestReassembler:
+    def chunks(self, blob, size, **kw):
+        parts = chunk_payload(blob, size)
+        return [
+            frame(
+                total_len=len(blob), chunk_idx=i, chunk_count=len(parts),
+                payload=p, **kw,
+            )
+            for i, p in enumerate(parts)
+        ]
+
+    def test_in_order(self):
+        r = Reassembler()
+        blob = bytes(range(256)) * 3
+        frames = self.chunks(blob, 100)
+        assert [r.add(f) for f in frames[:-1]] == [None, None, None, None, None, None, None]
+        assert r.add(frames[-1]) == blob
+        assert len(r) == 0 and r.failures == 0
+
+    def test_out_of_order_and_duplicates(self):
+        r = Reassembler()
+        blob = b"abcdefghij" * 13
+        frames = self.chunks(blob, 17)
+        order = frames[::-1] + frames[:2]  # reversed, then dup first two
+        done = [r.add(f) for f in order]
+        completed = [d for d in done if d is not None]
+        assert completed == [blob]
+        assert r.failures == 0
+
+    def test_interleaved_transfers_stay_separate(self):
+        r = Reassembler()
+        a = self.chunks(b"A" * 30, 10, rank=1)
+        b = self.chunks(b"B" * 30, 10, rank=2)
+        assert r.add(a[0]) is None and r.add(b[0]) is None
+        assert r.add(a[1]) is None and r.add(b[1]) is None
+        assert r.add(b[2]) == b"B" * 30
+        assert r.add(a[2]) == b"A" * 30
+
+    def test_metadata_conflict_restarts_transfer(self):
+        r = Reassembler()
+        old = frame(total_len=50, chunk_count=5, chunk_idx=0, payload=b"x" * 10)
+        assert r.add(old) is None
+        conflicting = self.chunks(b"y" * 20, 10)
+        assert r.add(conflicting[0]) is None
+        assert r.add(conflicting[1]) == b"y" * 20
+        assert r.failures == 1
+
+    def test_chunk_idx_out_of_range_fails(self):
+        r = Reassembler()
+        bad = frame(total_len=10, chunk_count=1, chunk_idx=3, payload=b"x")
+        assert r.add(bad) is None
+        assert r.failures == 1 and len(r) == 0
+
+    def test_total_len_mismatch_fails(self):
+        r = Reassembler()
+        lying = frame(total_len=999, chunk_count=1, chunk_idx=0, payload=b"xy")
+        assert r.add(lying) is None
+        assert r.failures == 1
+
+    def test_discard_rank_drops_partials(self):
+        r = Reassembler()
+        r.add(frame(rank=4, total_len=20, chunk_count=2, chunk_idx=0,
+                    payload=b"x" * 10))
+        r.add(frame(rank=5, total_len=20, chunk_count=2, chunk_idx=0,
+                    payload=b"x" * 10))
+        r.discard_rank(4)
+        assert len(r) == 1 and r.failures == 1

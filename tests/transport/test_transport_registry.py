@@ -1,0 +1,84 @@
+"""The transport registry mirrors the env/codec/fault registry contract."""
+
+import pytest
+
+from repro.transport import (
+    LiveTransport,
+    SimTransport,
+    Transport,
+    available_transports,
+    make_transport,
+    register_transport,
+    transport_entries,
+)
+
+
+class TestRegistry:
+    def test_bundled_backends_registered(self):
+        assert available_transports() == ["live", "sim"]
+
+    def test_make_transport_builds_each(self):
+        assert isinstance(make_transport("sim"), SimTransport)
+        assert isinstance(make_transport("live"), LiveTransport)
+
+    def test_unknown_transport_lists_known(self):
+        with pytest.raises(ValueError, match="known.*live.*sim"):
+            make_transport("carrier_pigeon")
+
+    def test_bad_kwargs_fail_with_transport_name(self):
+        with pytest.raises(ValueError, match="transport 'live'"):
+            make_transport("live", warp_factor=9)
+
+    def test_kwargs_land_on_the_instance(self):
+        t = make_transport("live", workers=5, round_timeout=1.5)
+        assert t.workers == 5 and t.round_timeout == 1.5
+
+    def test_live_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="worker"):
+            make_transport("live", workers=0)
+
+    def test_bad_registration_names_rejected(self):
+        for bad in ("", "Sim", "has-dash", "9lead"):
+            with pytest.raises(ValueError, match="lowercase identifier"):
+                register_transport(bad)
+
+    def test_reregistration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_transport("sim")
+            class Impostor(Transport):
+                pass
+
+    def test_entries_sorted_with_descriptions(self):
+        entries = transport_entries()
+        assert [e.name for e in entries] == ["live", "sim"]
+        assert all(e.description for e in entries)
+
+    def test_describe_falls_back_to_name(self):
+        t = Transport()
+        assert t.describe() == "base"
+        assert "bit-identical" in SimTransport().describe()
+
+
+class TestDefaults:
+    def test_sim_is_the_simulated_default(self):
+        sim = SimTransport()
+        assert sim.is_sim and sim.stats() == {}
+
+    def test_live_is_not_sim(self):
+        assert not LiveTransport().is_sim
+
+    def test_base_hooks_unimplemented(self):
+        t = Transport()
+        with pytest.raises(NotImplementedError):
+            t.train_round(None, [], None, None, 0, None)
+        with pytest.raises(NotImplementedError):
+            t.broadcast_model(None, [], None)
+        with pytest.raises(NotImplementedError):
+            t.collect_models(None, [], None)
+
+    def test_lifecycle_noops(self):
+        t = SimTransport()
+        t.bind(server=None, spec=None)
+        t.validate_spec(None)
+        t.start()
+        t.shutdown()
