@@ -27,9 +27,12 @@ path it replaced, :mod:`benchmarks.perf.legacy_fleet`):
   equal between the two paths, and the report records peak device-state
   bytes for each (the O(dim x participants) vs O(dim x ever-active)
   story).
-* ``fedavg_round_e2e`` — the same pair with *real* local training, the
-  honest end-to-end round number (training dominates, so the speedup is
-  modest by construction).
+* ``fedavg_round_batched`` — one round's training phase only, the
+  stacked-GEMM batched engine (:mod:`repro.device.batched`) vs the
+  sequential per-device loop on identical inputs and shuffle streams.
+* ``fedavg_round_e2e`` — the same pair with *real* local training and
+  the batched engine enabled on the fleet side: the honest end-to-end
+  round number.
 * ``fault_injection_overhead`` — the e2e workload on one server, armed
   null-rate fault model vs ``faults="none"``: the cost of the fault
   machinery when it injects nothing.  Here ``speedup`` reads as the
@@ -74,6 +77,7 @@ from repro.core.aggregation import sample_weighted_average, uniform_average
 from repro.datasets.core import train_test_split
 from repro.datasets.partition import partition_by_name
 from repro.datasets.synthetic import mnist_like
+from repro.device.batched import BatchedTrainer
 from repro.device.device import LocalTrainer
 from repro.device.fleet import make_fleet
 from repro.device.heterogeneity import sample_unit_counts, unit_times_from_counts
@@ -379,9 +383,15 @@ def _bench_fleet_build(scale: PerfScale) -> dict:
 
 
 def _fleet_round_pair(scale: PerfScale, trainer, participation: float, rounds: int,
-                      env_factory):
+                      env_factory, batched: bool = False):
     """(after_server, before_server, fleet, legacy_devices, w0) on one
-    shared substrate + trainer, finals asserted bitwise equal."""
+    shared substrate + trainer, finals asserted equal.
+
+    With ``batched=True`` the fleet server additionally runs the stacked-GEMM
+    training engine; since BLAS builds may compute a stacked GEMM slice with
+    different instruction selection than its 2-D equivalent, the finals
+    assertion relaxes to 1e-12 relative (bit-identical on builds where the
+    slices match — the common case, pinned by the nn test suite)."""
     train_set, test_set, parts, unit_times = _fleet_substrate(scale)
     fleet = make_fleet(train_set, parts, unit_times, trainer)
     legacy_devices = legacy_make_devices(train_set, parts, unit_times, trainer)
@@ -393,17 +403,28 @@ def _fleet_round_pair(scale: PerfScale, trainer, participation: float, rounds: i
         seed=3,
     )
     after_srv = FedAvgServer(fleet, test_set, config, env=env_factory())
+    if batched:
+        after_srv.set_device_batching("auto")
+        assert after_srv.batched_trainer is not None
     before_srv = PerObjectFedAvgServer(
         legacy_devices, test_set, config, env=env_factory()
     )
     w0 = get_flat_params(trainer.model)
 
-    # The fleet path must be the per-object path, bit for bit: same
-    # selection/availability draws, same charged transfer times, same
-    # finals — before any timing is trusted.
+    # The fleet path must be the per-object path, bit for bit (1e-12 under
+    # batching, see above): same selection/availability draws, same charged
+    # transfer times, same finals — before any timing is trusted.
     res_after = after_srv.fit(initial_weights=w0)
     res_before = before_srv.fit(initial_weights=w0)
-    np.testing.assert_array_equal(res_after.final_weights, res_before.final_weights)
+    if batched:
+        np.testing.assert_allclose(
+            res_after.final_weights, res_before.final_weights,
+            rtol=1e-12, atol=1e-12,
+        )
+    else:
+        np.testing.assert_array_equal(
+            res_after.final_weights, res_before.final_weights
+        )
     assert after_srv.clock.now == before_srv.clock.now
     assert after_srv.meter.server_total == before_srv.meter.server_total
     return after_srv, before_srv, fleet, legacy_devices, w0
@@ -452,11 +473,14 @@ def _bench_fleet_round(scale: PerfScale) -> dict:
 
 
 def _bench_fedavg_e2e(scale: PerfScale) -> dict:
+    """The honest end-to-end round: fleet layer *plus* the batched training
+    engine vs the per-object seed path with sequential training."""
     model = paper_mlp(scale.feature_dim, scale.num_classes, seed=0, hidden=(32, 16))
     trainer = LocalTrainer(model, lr=0.1, batch_size=50, seed=2)
     rounds = 2
     after_srv, before_srv, fleet, legacy_devices, w0 = _fleet_round_pair(
-        scale, trainer, scale.e2e_participation, rounds, Environment.ideal
+        scale, trainer, scale.e2e_participation, rounds, Environment.ideal,
+        batched=True,
     )
 
     def run_after() -> None:
@@ -476,6 +500,70 @@ def _bench_fedavg_e2e(scale: PerfScale) -> dict:
         rounds=rounds,
         participation=scale.e2e_participation,
         **_state_detail(scale, fleet, legacy_devices),
+    )
+
+
+def _bench_fedavg_round_batched(scale: PerfScale) -> dict:
+    """The training phase of one FedAvg round, batched vs sequential.
+
+    Isolates exactly what the batched engine replaces: the local-SGD loop
+    over one round's selected participants (same ids, same epochs, same
+    broadcast weights, same shuffle streams), with selection, channels and
+    aggregation excluded.  Results are asserted equal (1e-12; bitwise on
+    BLAS builds whose stacked-GEMM slices match their 2-D equivalents)
+    before timing is trusted.
+    """
+    model = paper_mlp(scale.feature_dim, scale.num_classes, seed=0, hidden=(32, 16))
+    trainer = LocalTrainer(model, lr=0.1, batch_size=50, seed=2)
+    train_set, test_set, parts, unit_times = _fleet_substrate(scale)
+    fleet = make_fleet(train_set, parts, unit_times, trainer)
+    config = FedAvgConfig(
+        rounds=1,
+        participation=scale.e2e_participation,
+        local_epochs=1,
+        eval_every=1,
+        seed=3,
+    )
+    server = FedAvgServer(fleet, test_set, config, env=Environment.ideal())
+    w0 = get_flat_params(trainer.model)
+    participants = server.select_participants(1)
+    ids = server.ids_of(participants)
+    duration = server.round_duration(participants)
+    epochs = server.epochs_for(participants, duration)
+    bt = BatchedTrainer(trainer, fleet)
+    seq_stack = np.empty((len(participants), trainer.dim))
+    bat_stack = np.empty((len(participants), trainer.dim))
+
+    def run_seq() -> None:
+        shard = fleet.shard
+        for i, dev_id in enumerate(ids.tolist()):
+            trainer.train(
+                w0, shard(dev_id), int(epochs[i]),
+                stream_key=(dev_id, 1, 0), out=seq_stack[i],
+            )
+
+    def run_bat() -> None:
+        bt.train_round(ids, epochs, 1, w0, out=bat_stack)
+
+    run_seq()
+    run_bat()
+    np.testing.assert_allclose(bat_stack, seq_stack, rtol=1e-12, atol=1e-12)
+    max_abs = float(np.max(np.abs(bat_stack - seq_stack)))
+
+    after, before = _best_pair(run_bat, run_seq, max(3, scale.repeats // 3))
+    cohorts = {
+        (int(n), int(e)) for n, e in zip(fleet.num_samples[ids], epochs)
+    }
+    return _pair(
+        before,
+        after,
+        devices=scale.fleet_devices,
+        participants=len(participants),
+        participation=scale.e2e_participation,
+        dim=trainer.dim,
+        cohorts=len(cohorts),
+        sgd_steps=int(np.sum(epochs * np.ceil(fleet.num_samples[ids] / 50))),
+        max_abs_diff=max_abs,
     )
 
 
@@ -734,6 +822,7 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "fedhisyn_round": _bench_fedhisyn_round(scale),
         "fleet_build": _bench_fleet_build(scale),
         "fleet_round": _bench_fleet_round(scale),
+        "fedavg_round_batched": _bench_fedavg_round_batched(scale),
         "fedavg_round_e2e": _bench_fedavg_e2e(scale),
         "fault_injection_overhead": _bench_fault_overhead(scale),
         "scheduler_events": _bench_scheduler_events(scale),

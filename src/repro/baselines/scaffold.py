@@ -90,24 +90,31 @@ class ScaffoldServer(FederatedServer):
         rows = self.round_rows(receivers)
         live = self.rows_live  # trained rows already are device state
         epochs = self.epochs_for(receivers, duration)
-        variate_deltas: list[np.ndarray] = []
-        for i, dev in enumerate(receivers):
-            c_i = self.device_variates[dev.device_id]
-            correction = np.subtract(self.server_variate, c_i, out=self._correction)
-            y_i, steps = self.trainer.train(
-                view,
-                dev.shard,
-                int(epochs[i]),
-                stream_key=(dev.device_id, round_idx, 0),
-                correction=correction,
-                out=rows[i],
+        if self.batched_trainer is not None:
+            variate_deltas = self._run_round_batched(
+                receivers, rows, live, epochs, round_idx, view, eta
             )
-            if not live:
-                dev.weights = y_i
-            # Option II variate refresh, anchored on the received model.
-            c_plus = c_i - self.server_variate + (view - y_i) / (steps * eta)
-            variate_deltas.append(c_plus - c_i)
-            self.device_variates.set(dev.device_id, c_plus)
+        else:
+            variate_deltas = []
+            for i, dev in enumerate(receivers):
+                c_i = self.device_variates[dev.device_id]
+                correction = np.subtract(
+                    self.server_variate, c_i, out=self._correction
+                )
+                y_i, steps = self.trainer.train(
+                    view,
+                    dev.shard,
+                    int(epochs[i]),
+                    stream_key=(dev.device_id, round_idx, 0),
+                    correction=correction,
+                    out=rows[i],
+                )
+                if not live:
+                    dev.weights = y_i
+                # Option II variate refresh, anchored on the received model.
+                c_plus = c_i - self.server_variate + (view - y_i) / (steps * eta)
+                variate_deltas.append(c_plus - c_i)
+                self.device_variates.set(dev.device_id, c_plus)
 
         arrived, decoded = self.collect_models(
             receivers, rows, reference=view, extra_units=1.0
@@ -123,3 +130,39 @@ class ScaffoldServer(FederatedServer):
         new_global = global_weights + cfg.global_lr * delta_model / s
         self.server_variate = self.server_variate + delta_variate / len(self.devices)
         return new_global
+
+    def _run_round_batched(
+        self,
+        receivers: list[Device],
+        rows: np.ndarray,
+        live: bool,
+        epochs: np.ndarray,
+        round_idx: int,
+        view: np.ndarray,
+        eta: float,
+    ) -> np.ndarray:
+        """The per-device training loop of :meth:`run_round` as matrix math.
+
+        Stacks the receivers' control variates, hands the corrections to the
+        batched engine as one ``(P, dim)`` matrix, and performs the option-II
+        variate refresh as whole-matrix ops.  Row ``i`` of every intermediate
+        sees exactly the float ops the sequential loop applies to receiver
+        ``i``, so the two paths agree wherever stacked GEMMs are exact.
+        """
+        ids = self.ids_of(receivers)
+        c_stack = np.empty((len(receivers), self.trainer.dim))
+        for i, dev_id in enumerate(ids.tolist()):
+            np.copyto(c_stack[i], self.device_variates[dev_id])
+        corrections = np.subtract(self.server_variate, c_stack)
+        steps = self.batched_trainer.train_round(
+            ids, epochs, round_idx, view, out=rows, corrections=corrections
+        )
+        if not live:
+            for i, dev in enumerate(receivers):
+                dev.weights = rows[i]
+        denom = steps.astype(np.float64) * eta
+        c_plus = c_stack - self.server_variate + (view - rows) / denom[:, None]
+        variate_deltas = c_plus - c_stack
+        for i, dev_id in enumerate(ids.tolist()):
+            self.device_variates.set(dev_id, c_plus[i])
+        return variate_deltas

@@ -128,6 +128,11 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
     g.add_argument("--workers-live", type=int, default=None,
                    help="live transport: number of worker processes "
                         "(default 2)")
+    g.add_argument("--device-batching", default="auto",
+                   choices=["auto", "off"],
+                   help="train a round's devices as stacked GEMMs when the "
+                        "model allows it (auto, default) or force the "
+                        "sequential per-device path (off)")
     g.add_argument("--aggregator", default=None,
                    choices=sorted(AGGREGATORS),
                    help="fedavg-family aggregation rule (default: each "
@@ -219,6 +224,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  "codecs", "fleets", "faults", "transports",
                                  "all"])
 
+    bench_p = sub.add_parser("bench",
+                             help="run the perf microbenchmark suite and "
+                                  "write BENCH_perf.json")
+    bench_p.add_argument("--scale", default="quick",
+                         choices=["quick", "full"],
+                         help="benchmark scale preset (default: quick)")
+    bench_p.add_argument("--out", default="BENCH_perf.json",
+                         help="report path (default: BENCH_perf.json)")
+    bench_p.add_argument("--repeats", type=int, default=None,
+                         help="override best-of repetitions")
+
     return p
 
 
@@ -279,6 +295,7 @@ def spec_from_args(args: argparse.Namespace, method: str = "fedhisyn") -> Experi
         fault_kwargs=fault_kwargs,
         transport=transport,
         transport_kwargs=transport_kwargs,
+        device_batching=getattr(args, "device_batching", "auto"),
         round_deadline=getattr(args, "round_deadline", None),
         over_select=getattr(args, "over_select", None),
         max_retries=getattr(args, "max_retries", None),
@@ -572,6 +589,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run ``benchmarks/perf/suite.py`` through its own CLI front-end.
+
+    The benchmarks package lives next to ``src/`` rather than inside it
+    (it measures the library from the outside), so it is importable when
+    running from the repo root — fail with a hint, not a traceback, when
+    it is not on the path.
+    """
+    try:
+        from benchmarks.perf.__main__ import main as bench_main
+    except ImportError:
+        print(
+            "error: the benchmarks package is not importable; "
+            "run from the repository root (or add it to PYTHONPATH)",
+            file=sys.stderr,
+        )
+        return 2
+    argv = ["--scale", args.scale, "--out", args.out]
+    if args.repeats is not None:
+        argv += ["--repeats", str(args.repeats)]
+    return bench_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -579,6 +619,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "list": _cmd_list,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -182,6 +182,13 @@ class FederatedServer:
         # post-construction by build_experiment, like selection_policy.
         self.transport: Transport = SimTransport()
         self.transport.bind(self)
+        # Batched cross-device training engine (repro.device.batched): when
+        # installed, SimTransport (and SCAFFOLD's inline loop) train a whole
+        # round as stacked GEMMs over the (participants, dim) arena.  Off by
+        # default on direct construction so hand-built servers keep the
+        # sequential path; build_experiment enables it via
+        # set_device_batching(spec.device_batching).
+        self.batched_trainer = None
         # The round currently executing — non-sim transports need it for
         # round-scoped transfers issued from round-blind channel calls.
         self.current_round = 0
@@ -332,6 +339,26 @@ class FederatedServer:
                 len(self.devices),
                 self._seeds.generator(*_FAULT_MEMBER_STREAM_KEY),
             )
+
+    def set_device_batching(self, mode: str) -> None:
+        """Enable (``"auto"``) or disable (``"off"``) the batched engine.
+
+        ``"auto"`` installs a :class:`~repro.device.batched.BatchedTrainer`
+        when the population is a fleet and the model is batchable
+        (Dense/ReLU stacks under softmax cross-entropy); anything else —
+        per-object device lists, CNNs, custom layers — silently keeps the
+        sequential path, since batching is an execution strategy, not a
+        semantic knob.
+        """
+        if mode not in ("auto", "off"):
+            raise ValueError(f"device_batching must be 'auto' or 'off', got {mode!r}")
+        self.batched_trainer = None
+        if mode == "off" or self.fleet is None:
+            return
+        from repro.device.batched import BatchedTrainer
+
+        if BatchedTrainer.supports(self.trainer.model):
+            self.batched_trainer = BatchedTrainer(self.trainer, self.fleet)
 
     @property
     def faults_active(self) -> bool:

@@ -65,6 +65,25 @@ class LocalTrainer:
         self._velocity = (
             np.empty(self.dim, dtype=np.float64) if self.momentum > 0 else None
         )
+        # Reusable per-epoch gather destinations, grown to the largest shard
+        # seen so the per-epoch shuffle is one ``np.take(..., out=...)``
+        # instead of a fresh fancy-index allocation per epoch per device.
+        self._x_epoch: np.ndarray | None = None
+        self._y_epoch: np.ndarray | None = None
+
+    def _epoch_buffers(
+        self, x: np.ndarray, y: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Length-``n`` views of the reusable epoch gather buffers."""
+        xb = self._x_epoch
+        if xb is None or xb.shape[0] < n or xb.shape[1:] != x.shape[1:] or xb.dtype != x.dtype:
+            cap = n if xb is None else max(n, xb.shape[0])
+            self._x_epoch = xb = np.empty((cap,) + x.shape[1:], dtype=x.dtype)
+        yb = self._y_epoch
+        if yb is None or yb.shape[0] < n or yb.shape[1:] != y.shape[1:] or yb.dtype != y.dtype:
+            cap = n if yb is None else max(n, yb.shape[0])
+            self._y_epoch = yb = np.empty((cap,) + y.shape[1:], dtype=y.dtype)
+        return xb[:n], yb[:n]
 
     def train(
         self,
@@ -112,12 +131,14 @@ class LocalTrainer:
         prox = anchor is not None and mu > 0.0
         steps = 0
         n = len(shard)
+        x_epoch, y_epoch = self._epoch_buffers(shard.x, shard.y, n)
         for _ in range(epochs):
             order = rng.permutation(n)
-            # One shard-sized gather per epoch; batches are then contiguous
-            # views instead of per-batch fancy-index copies.
-            x_epoch = shard.x[order]
-            y_epoch = shard.y[order]
+            # One shard-sized gather per epoch into the reused buffers;
+            # batches are then contiguous views instead of per-batch
+            # fancy-index copies.
+            np.take(shard.x, order, axis=0, out=x_epoch)
+            np.take(shard.y, order, axis=0, out=y_epoch)
             for start in range(0, n, self.batch_size):
                 stop = start + self.batch_size
                 # loss_and_grad leaves grad holding exactly this batch's

@@ -163,6 +163,11 @@ class ExperimentSpec:
     # round loop as real OS worker processes over loopback UDP.
     transport: str = "sim"
     transport_kwargs: dict[str, Any] = field(default_factory=dict)
+    # Batched cross-device training (repro.device.batched): "auto" trains a
+    # round's cohorts as stacked GEMMs when the model allows it (falling back
+    # to the sequential path otherwise), "off" forces per-device training.
+    # An execution strategy, not a semantic knob — sweepable to prove it.
+    device_batching: str = "auto"
 
     def __post_init__(self) -> None:
         if self.fleet_profile is not None:
@@ -263,6 +268,11 @@ class ExperimentSpec:
             raise ValueError(
                 "transport_kwargs must be a dict, "
                 f"got {type(self.transport_kwargs).__name__}"
+            )
+        if self.device_batching not in ("auto", "off"):
+            raise ValueError(
+                f"device_batching must be 'auto' or 'off', "
+                f"got {self.device_batching!r}"
             )
         # Raises ValueError for an unknown preset or bad override keys, so
         # a mistyped --env/--grid value fails at spec time, not mid-run.
@@ -425,6 +435,10 @@ def build_experiment(
         # first broadcast, so building a live spec stays side-effect free.
         server.transport = make_transport(spec.transport, **spec.transport_kwargs)
         server.transport.bind(server, spec)
+    # Batched engine last: it snapshots the trainer/fleet pair, which is
+    # final by now.  "auto" degrades silently to sequential when the model
+    # or population cannot batch (CNNs, per-object device lists).
+    server.set_device_batching(spec.device_batching)
     return server
 
 
@@ -466,6 +480,8 @@ def run_experiment(spec: ExperimentSpec, logger: RunLogger | None = None):
         result.config["transport"] = spec.transport
     if spec.transport_kwargs:
         result.config["transport_kwargs"] = dict(spec.transport_kwargs)
+    if spec.device_batching != "auto":
+        result.config["device_batching"] = spec.device_batching
     if spec.round_deadline is not None:
         result.config["round_deadline"] = spec.round_deadline
     if spec.over_select is not None:

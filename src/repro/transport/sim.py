@@ -56,7 +56,28 @@ class SimTransport(Transport):
         per-object path spent its per-device time.  Otherwise the
         classic ``run_unit`` choreography keeps every Device contract
         intact (including the ``weights`` snapshot for drop-fallback).
+
+        When the server carries a :class:`~repro.device.batched.BatchedTrainer`
+        (``device_batching="auto"`` on a batchable model), the whole round
+        trains as stacked GEMMs in one call; under retained fleet storage the
+        per-device ``weights`` snapshots are synced afterwards, exactly as
+        ``run_unit`` would have.
         """
+        bt = server.batched_trainer
+        if bt is not None:
+            bt.train_round(
+                server.ids_of(receivers),
+                epochs,
+                round_idx,
+                global_weights,
+                out=stack,
+                anchor=anchor,
+                mu=mu,
+            )
+            if not server.rows_live:
+                for i, dev in enumerate(receivers):
+                    dev.weights = stack[i]
+            return
         if server.rows_live:
             train = server.trainer.train
             shard = server.fleet.shard

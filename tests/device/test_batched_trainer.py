@@ -1,0 +1,162 @@
+"""BatchedTrainer: one round of cohort-stacked local SGD vs LocalTrainer.
+
+Every test trains the same devices twice — sequentially through
+``LocalTrainer.train`` with the canonical ``(device_id, round_idx, 0)``
+stream keys, and in one ``BatchedTrainer.train_round`` call — and demands
+agreement to 1e-12 (bitwise on BLAS builds whose stacked-GEMM slices are
+exact; see tests/nn/test_batched_sequential.py for the canary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import partition_by_name
+from repro.datasets.synthetic import mnist_like
+from repro.device.batched import BatchedTrainer
+from repro.device.device import LocalTrainer
+from repro.device.fleet import make_fleet
+from repro.device.heterogeneity import sample_unit_counts, unit_times_from_counts
+from repro.nn.models import paper_cnn, paper_mlp
+from repro.nn.serialization import get_flat_params
+
+NUM_DEVICES = 12
+FEATURES = 16
+CLASSES = 10  # mnist_like is a fixed 10-class task
+
+
+def _substrate(momentum=0.0, partition="dirichlet"):
+    """(trainer, fleet, w0) over ragged dirichlet shards."""
+    dataset = mnist_like(num_samples=700, seed=5, feature_dim=FEATURES)
+    parts = partition_by_name(partition, dataset, NUM_DEVICES, seed=6, beta=0.3)
+    counts = sample_unit_counts(NUM_DEVICES, 1, 10, seed=7)
+    model = paper_mlp(FEATURES, CLASSES, seed=0, hidden=(12, 8))
+    trainer = LocalTrainer(
+        model, lr=0.1, batch_size=20, seed=2, momentum=momentum
+    )
+    fleet = make_fleet(dataset, parts, unit_times_from_counts(counts), trainer)
+    return trainer, fleet, get_flat_params(model)
+
+
+def _sequential(trainer, fleet, ids, epochs, round_idx, w0, **kwargs):
+    """The reference loop: per-device LocalTrainer.train on the same streams."""
+    out = np.empty((len(ids), trainer.dim))
+    steps = np.empty(len(ids), dtype=np.intp)
+    corrections = kwargs.pop("corrections", None)
+    for i, dev_id in enumerate(ids):
+        correction = None if corrections is None else corrections[i]
+        _, steps[i] = trainer.train(
+            w0,
+            fleet.shard(int(dev_id)),
+            int(epochs[i]),
+            stream_key=(int(dev_id), round_idx, 0),
+            correction=correction,
+            out=out[i],
+            **kwargs,
+        )
+    return out, steps
+
+
+def _assert_matches(trainer, fleet, ids, epochs, round_idx=1, **kwargs):
+    w0 = get_flat_params(trainer.model)
+    bt = BatchedTrainer(trainer, fleet)
+    got = np.empty((len(ids), trainer.dim))
+    got_steps = bt.train_round(
+        np.asarray(ids), np.asarray(epochs), round_idx, w0, out=got, **kwargs
+    )
+    want, want_steps = _sequential(
+        trainer, fleet, ids, epochs, round_idx, w0, **kwargs
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+    np.testing.assert_array_equal(got_steps, want_steps)
+    return got
+
+
+class TestTrainRound:
+    def test_ragged_cohorts_match_sequential(self):
+        trainer, fleet, _ = _substrate()
+        ids = list(range(NUM_DEVICES))
+        epochs = [1 + (i % 3) for i in ids]  # several (n, epochs) cohorts
+        _assert_matches(trainer, fleet, ids, epochs)
+
+    def test_subset_and_duplicated_epoch_values(self):
+        trainer, fleet, _ = _substrate()
+        ids = [3, 7, 1, 10, 4]
+        epochs = [2, 2, 1, 2, 1]
+        _assert_matches(trainer, fleet, ids, epochs)
+
+    def test_momentum(self):
+        trainer, fleet, _ = _substrate(momentum=0.9)
+        ids = list(range(NUM_DEVICES))
+        _assert_matches(trainer, fleet, ids, [2] * NUM_DEVICES)
+
+    def test_prox_anchor(self):
+        trainer, fleet, w0 = _substrate()
+        anchor = w0 + 0.01
+        ids = list(range(0, NUM_DEVICES, 2))
+        _assert_matches(
+            trainer, fleet, ids, [2] * len(ids), anchor=anchor, mu=0.05
+        )
+
+    def test_scaffold_corrections(self):
+        trainer, fleet, _ = _substrate()
+        ids = list(range(NUM_DEVICES))
+        rng = np.random.default_rng(9)
+        corrections = rng.normal(scale=1e-3, size=(len(ids), trainer.dim))
+        _assert_matches(
+            trainer, fleet, ids, [1] * len(ids), corrections=corrections
+        )
+
+    def test_lr_override(self):
+        trainer, fleet, _ = _substrate()
+        ids = [0, 1, 2, 3]
+        _assert_matches(trainer, fleet, ids, [1, 1, 2, 2], lr=0.02)
+
+    def test_round_stream_preserved(self):
+        # Training round r batched must equal round r sequential — and
+        # differ from round r+1 (the stream key really is per-round).
+        trainer, fleet, _ = _substrate()
+        ids = [0, 1, 2]
+        r1 = _assert_matches(trainer, fleet, ids, [1, 1, 1], round_idx=1)
+        r2 = _assert_matches(trainer, fleet, ids, [1, 1, 1], round_idx=2)
+        assert not np.array_equal(r1, r2)
+
+    def test_deterministic_across_calls(self):
+        trainer, fleet, w0 = _substrate()
+        bt = BatchedTrainer(trainer, fleet)
+        ids = np.arange(NUM_DEVICES)
+        epochs = np.full(NUM_DEVICES, 2)
+        a = np.empty((NUM_DEVICES, trainer.dim))
+        b = np.empty((NUM_DEVICES, trainer.dim))
+        bt.train_round(ids, epochs, 1, w0, out=a)
+        bt.train_round(ids, epochs, 1, w0, out=b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_writes_only_receiver_rows(self):
+        trainer, fleet, w0 = _substrate()
+        bt = BatchedTrainer(trainer, fleet)
+        out = np.full((4, trainer.dim), -1.0)
+        bt.train_round(
+            np.array([0, 5]), np.array([1, 1]), 1, w0, out=out[1:3]
+        )
+        assert np.all(out[0] == -1.0) and np.all(out[3] == -1.0)
+        assert not np.any(out[1] == -1.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_epochs(self):
+        trainer, fleet, w0 = _substrate()
+        bt = BatchedTrainer(trainer, fleet)
+        out = np.empty((1, trainer.dim))
+        with pytest.raises(ValueError, match="epochs"):
+            bt.train_round(np.array([0]), np.array([0]), 1, w0, out=out)
+
+    def test_rejects_unbatchable_model(self):
+        dataset = mnist_like(num_samples=80, seed=5, feature_dim=FEATURES)
+        parts = partition_by_name("iid", dataset, 4, seed=6)
+        unit_times = unit_times_from_counts(sample_unit_counts(4, 1, 4, seed=7))
+        cnn = paper_cnn(1, 4, CLASSES, seed=0, conv_channels=2, fc_sizes=(8, 8))
+        trainer = LocalTrainer(cnn, lr=0.1, batch_size=20, seed=2)
+        fleet = make_fleet(dataset, parts, unit_times, trainer)
+        assert not BatchedTrainer.supports(cnn)
+        with pytest.raises(ValueError, match="not batchable"):
+            BatchedTrainer(trainer, fleet)

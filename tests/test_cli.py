@@ -299,3 +299,55 @@ class TestAsyncFlags:
         assert rc == 0
         out = capsys.readouterr().out
         assert "campaign: 2 runs" in out and "buffer_goal" in out
+
+
+class TestDeviceBatchingFlag:
+    def test_default_is_auto(self):
+        args = build_parser().parse_args(["run"])
+        assert spec_from_args(args).device_batching == "auto"
+
+    def test_off_reaches_spec(self):
+        args = build_parser().parse_args(["run", "--device-batching", "off"])
+        assert spec_from_args(args).device_batching == "off"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--device-batching", "maybe"])
+
+    def test_sweep_grid_axis(self, capsys):
+        rc = main(["sweep", "--method", "fedavg", "--seeds", "0", *COMMON,
+                   "--grid", "device_batching=auto,off", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 runs" in out and "device_batching" in out
+
+
+class TestBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.scale == "quick"
+        assert args.out == "BENCH_perf.json"
+        assert args.repeats is None
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--scale", "galactic"])
+
+    def test_forwards_to_suite(self, monkeypatch, tmp_path):
+        # Swap the suite's entry point for a recorder: the CLI's job is
+        # only to translate flags into the benchmarks argv.
+        import benchmarks.perf.__main__ as bench_mod
+
+        seen = {}
+
+        def fake_main(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(bench_mod, "main", fake_main)
+        out = str(tmp_path / "b.json")
+        rc = main(["bench", "--scale", "quick", "--out", out, "--repeats", "2"])
+        assert rc == 0
+        assert seen["argv"] == ["--scale", "quick", "--out", out,
+                                "--repeats", "2"]

@@ -35,8 +35,14 @@ def test_ideal_env_matches_pre_refactor_history(golden_path):
     gold = json.loads(golden_path.read_text())
     # codec="none" pinned explicitly: the identity codec's channel fast
     # path must stay bit-identical to the pre-compression runs for every
-    # method, not just remain the spec default.
-    spec = ExperimentSpec(**{**gold["spec"], "codec": "none"})
+    # method, not just remain the spec default.  device_batching="off"
+    # pinned for the same reason: goldens assert *bitwise* equality, and
+    # the batched engine only guarantees that on BLAS builds whose
+    # stacked-GEMM slices are exact (1e-12 elsewhere — see
+    # tests/baselines/test_batched_equivalence.py for the tolerant check).
+    spec = ExperimentSpec(
+        **{**gold["spec"], "codec": "none", "device_batching": "off"}
+    )
     assert spec.env == "ideal"  # the default must be the paper's semantics
 
     result = run_experiment(spec)
