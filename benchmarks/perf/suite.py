@@ -120,6 +120,9 @@ class PerfScale:
     # Scheduler-throughput bench (the async runtime's hot loop).
     scheduler_devices: int
     scheduler_horizon: float
+    # Million-device engine bench (calendar queue + batched waves).
+    mega_sched_devices: int
+    mega_sched_horizon: float
 
 
 SCALES = {
@@ -144,6 +147,8 @@ SCALES = {
         e2e_participation=0.1,
         scheduler_devices=5000,
         scheduler_horizon=2.0,
+        mega_sched_devices=1_000_000,
+        mega_sched_horizon=0.5,
     ),
     "full": PerfScale(
         name="full",
@@ -166,6 +171,8 @@ SCALES = {
         e2e_participation=0.1,
         scheduler_devices=5000,
         scheduler_horizon=5.0,
+        mega_sched_devices=1_000_000,
+        mega_sched_horizon=1.0,
     ),
 }
 
@@ -637,43 +644,105 @@ def _bench_fault_overhead(scale: PerfScale) -> dict:
     )
 
 
+def _sched_events_per_device(num_devices: int, unit_times, horizon: float) -> int:
+    """The seed path: one heap entry per device completion."""
+    sched = Scheduler(engine="heap")
+
+    def on_complete(ev) -> None:
+        dev = ev.payload
+        nxt = ev.time + unit_times[dev]
+        if nxt <= horizon:
+            sched.at(nxt, UNIT_COMPLETE, dev)
+
+    sched.on(UNIT_COMPLETE, on_complete)
+    for dev in range(num_devices):
+        sched.at(float(unit_times[dev]), UNIT_COMPLETE, dev)
+    sched.run()
+    return sched.events_processed
+
+
+def _sched_events_batched(num_devices: int, unit_times, horizon: float) -> int:
+    """The million-device path: calendar queue + one batched event per
+    completion wave (devices sharing a maturity time), mirroring how the
+    async server packs the quantized unit-time schedule."""
+    sched = Scheduler(engine="calendar")
+
+    def on_complete(ev) -> None:
+        ids = ev.payload
+        nxt = ev.time + unit_times[ids]
+        keep = nxt <= horizon
+        if not keep.any():
+            return
+        ids = ids[keep]
+        nxt = nxt[keep]
+        for t in np.unique(nxt):
+            sched.at_many(float(t), UNIT_COMPLETE, ids[nxt == t])
+
+    sched.on(UNIT_COMPLETE, on_complete)
+    for t in np.unique(unit_times):
+        sched.at_many(float(t), UNIT_COMPLETE, np.flatnonzero(unit_times == t))
+    sched.run()
+    return sched.events_processed
+
+
 def _bench_scheduler_events(scale: PerfScale) -> dict:
-    """Discrete-event scheduler throughput at fleet scale.
+    """Discrete-event engine throughput at fleet scale, before/after.
 
     Replays the async runtime's hot loop — every device of a
     ``scheduler_devices``-sized fleet continuously completing and
     rescheduling training units over a virtual horizon — with the
-    training itself stubbed out, so the number is pure event machinery:
-    heap push/pop, clock advance, handler dispatch.  Reported as
-    events/sec (trajectory number; there is no legacy pair because the
-    runtime is new).
+    training itself stubbed out, so the pair is pure event machinery.
+    Before: the seed engine (binary heap, one event per device
+    completion).  After: the calendar queue with batched completion
+    waves.  Both sides dispatch the identical logical schedule (member
+    counts are asserted equal); ``events_per_s`` counts members, so the
+    throughput is packing-independent.
     """
     counts = sample_unit_counts(scale.scheduler_devices, 1, 10, seed=21)
     unit_times = unit_times_from_counts(counts)
     horizon = scale.scheduler_horizon
-    events = 0  # identical every run (deterministic schedule)
+    n = scale.scheduler_devices
 
-    def run() -> None:
-        nonlocal events
-        sched = Scheduler()
+    events_before = _sched_events_per_device(n, unit_times, horizon)
+    events_after = _sched_events_batched(n, unit_times, horizon)
+    assert events_after == events_before, (
+        f"batched schedule dispatched {events_after} members, "
+        f"per-device dispatched {events_before}"
+    )
 
-        def on_complete(ev) -> None:
-            dev = ev.payload
-            nxt = ev.time + unit_times[dev]
-            if nxt <= horizon:
-                sched.at(nxt, UNIT_COMPLETE, dev)
+    after_s, before_s = _best_pair(
+        lambda: _sched_events_batched(n, unit_times, horizon),
+        lambda: _sched_events_per_device(n, unit_times, horizon),
+        max(3, scale.repeats // 3),
+    )
+    return _pair(
+        before_s,
+        after_s,
+        devices=n,
+        horizon=horizon,
+        events=events_before,
+        events_per_s=round(events_before / after_s, 1),
+    )
 
-        sched.on(UNIT_COMPLETE, on_complete)
-        for dev in range(scale.scheduler_devices):
-            sched.at(float(unit_times[dev]), UNIT_COMPLETE, dev)
-        sched.run()
-        events = sched.events_processed
 
-    best = _best_of(run, max(3, scale.repeats // 3))
+def _bench_scheduler_events_1m(scale: PerfScale) -> dict:
+    """The calendar+batched engine at a million devices (trajectory
+    number; the seed engine is far too slow to pair at this size).
+    ``events_per_s`` counts batched members individually."""
+    counts = sample_unit_counts(scale.mega_sched_devices, 1, 10, seed=22)
+    unit_times = unit_times_from_counts(counts)
+    horizon = scale.mega_sched_horizon
+    n = scale.mega_sched_devices
+
+    events = _sched_events_batched(n, unit_times, horizon)
+    best = _best_of(
+        lambda: _sched_events_batched(n, unit_times, horizon),
+        max(2, scale.repeats // 5),
+    )
     return {
         "after_s": best,
         "detail": {
-            "devices": scale.scheduler_devices,
+            "devices": n,
             "horizon": horizon,
             "events": events,
             "events_per_s": round(events / best, 1),
@@ -826,6 +895,7 @@ def run_suite(scale_name: str = "quick", repeats: int | None = None) -> dict:
         "fedavg_round_e2e": _bench_fedavg_e2e(scale),
         "fault_injection_overhead": _bench_fault_overhead(scale),
         "scheduler_events": _bench_scheduler_events(scale),
+        "scheduler_events@1M": _bench_scheduler_events_1m(scale),
         "codec_encode": _bench_codec_encode(scale),
         "codec_bytes_ratio": _bench_codec_bytes_ratio(scale),
         "live_transport_throughput": _bench_live_transport(scale),

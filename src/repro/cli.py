@@ -72,7 +72,7 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
                         "participation defaults (explicitly set flags "
                         "win); see `repro list fleets`")
     g.add_argument("--partition", default="dirichlet",
-                   choices=["iid", "dirichlet", "shard"])
+                   choices=["iid", "contiguous", "dirichlet", "shard"])
     g.add_argument("--beta", type=float, default=0.3,
                    help="Dirichlet concentration (smaller = more skew)")
     g.add_argument("--participation", type=float, default=1.0)
@@ -579,10 +579,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
         lines = ["fleet profiles:"]
         for name, prof in sorted(FLEET_PROFILES.items(),
                                  key=lambda kv: kv[1]["num_devices"]):
+            part = prof["participation"]
+            pct = f"{part:.1%}" if part < 0.01 else f"{part:.0%}"
             lines.append(
-                f"  {name:<8} devices={prof['num_devices']:<6} "
-                f"samples={prof['num_samples']:<7} "
-                f"participation={prof['participation']:.0%}"
+                f"  {name:<8} devices={prof['num_devices']:<8} "
+                f"samples={prof['num_samples']:<8} "
+                f"participation={pct}"
             )
         sections.append("\n".join(lines))
     print("\n\n".join(sections))

@@ -26,6 +26,25 @@ The device lifecycle (one state machine per cohort member):
    (FedBuff).  The server replies with the current global model, which
    feeds step 1.
 
+**Batched events** (the million-device path): with no fault model armed,
+the server packs same-timestamp work into single scheduler entries — one
+``unit_complete`` carrying an int32 id array for a whole completion wave,
+one ``upload_arrival``/``broadcast_arrival`` per distinct link latency —
+instead of one event per device.  The quantized unit-time schedule
+(``unit_times_from_counts`` yields ``round_length / k`` for small integer
+``k``) makes devices that start together complete together, so waves are
+large and the event engine's per-device overhead amortizes away.  Handlers
+consume the id arrays **in array order**, which makes a batch
+observationally identical to the per-device events it replaces: the same
+rng draws in the same order (training streams, the shared drop stream),
+the same metering, the same aggregation sequence.  Packing follows the
+scheduler's tie-break contract — members of a batch were scheduled
+consecutively at one moment, so no foreign event's sequence number can
+fall between them.  Arming a fault model disables batching (per-member
+``unit_complete`` cancellation and crash/heartbeat tie ordering need
+per-device handles); ``event_batching = False`` forces the per-device
+path for A/B equivalence tests.
+
 **Staleness** is version-counted: the server increments a global version
 per aggregation, every dispatched model is stamped with it, and an upload
 computed against version ``v`` arriving at version ``V`` has staleness
@@ -101,6 +120,27 @@ __all__ = [
     "AsyncServerConfig",
     "AsyncFederatedServer",
 ]
+
+
+def _wave_groups(
+    times: np.ndarray, ids: np.ndarray
+) -> list[tuple[float, np.ndarray]]:
+    """Split ``ids`` into maturity groups: one ``(time, ids_at_time)`` pair
+    per distinct value of ``times``, in increasing time, preserving the
+    input order of ids inside each group (stable sort) — the batched
+    analogue of scheduling ``len(ids)`` consecutive per-device events."""
+    if len(ids) == 1:
+        return [(float(times[0]), ids)]
+    order = np.argsort(times, kind="stable")
+    st = times[order]
+    sids = ids[order]
+    cuts = np.flatnonzero(st[1:] != st[:-1]) + 1
+    if not cuts.size:
+        return [(float(st[0]), sids)]
+    bounds = [0, *cuts.tolist(), len(sids)]
+    return [
+        (float(st[a]), sids[a:b]) for a, b in zip(bounds[:-1], bounds[1:])
+    ]
 
 #: The staleness-decay families (FedAsync Section 5.2, adopted by FedBuff):
 #: ``constant`` ignores staleness, ``polynomial`` damps as
@@ -191,6 +231,11 @@ class AsyncFederatedServer(FederatedServer):
         super().__init__(*args, **kwargs)
         # Set True (e.g. by tests) before fit() to record the event trace.
         self.record_trace = False
+        # Batched event kinds (id-array payloads) on the clean path; set
+        # False before fit() to force one event per device — the per-device
+        # path the equivalence tests compare against.  Arming a fault model
+        # disables batching regardless (per-member timer cancellation).
+        self.event_batching = True
         # Server aggregation counter — the staleness reference frame.
         self._version = 0
         self._finished = False
@@ -351,22 +396,70 @@ class AsyncFederatedServer(FederatedServer):
                 self.scheduler.now + lost, DEVICE_CRASH, (dev_id, lost, downtime)
             )
 
+    def _begin_units(self, ids: np.ndarray) -> None:
+        """Batched :meth:`_begin_unit` (clean path only): pop inboxes in id
+        order, then schedule one ``unit_complete`` per distinct maturity
+        time — the wave grouping the quantized unit-time schedule makes
+        large."""
+        inbox = self._inbox
+        start = self._start_model
+        basev = self._base_version
+        own = self._own_model
+        for dev_id in ids.tolist():
+            arrival = inbox.pop(dev_id, None)
+            if arrival is not None:
+                start[dev_id], basev[dev_id] = arrival
+            else:
+                start[dev_id] = own[dev_id]
+        times = self.scheduler.now + self._unit_time_of[ids]
+        for t, group in _wave_groups(times, ids):
+            if len(group) == 1:
+                self.scheduler.at(t, UNIT_COMPLETE, int(group[0]))
+            else:
+                self.scheduler.at_many(t, UNIT_COMPLETE, group)
+
     def _on_broadcast_arrival(self, ev) -> None:
         dev_id, weights, version = ev.payload
+        if isinstance(dev_id, np.ndarray):
+            self._on_broadcast_batch(dev_id, weights, version)
+            return
         banked = self._inbox.get(dev_id)
         # Newest version wins; an older in-flight reply never clobbers it.
         if banked is None or version >= banked[1]:
             self._inbox[dev_id] = (weights, version)
         if (
-            dev_id in self._parked
-            and dev_id not in self._offline
+            self._parked_mask[dev_id]
+            and not self._offline_mask[dev_id]
             and dev_id not in self._crashed
         ):
-            self._parked.discard(dev_id)
+            self._parked_mask[dev_id] = False
             self._begin_unit(dev_id)
+
+    def _on_broadcast_batch(self, ids, weights, version) -> None:
+        """A broadcast wave lands (clean path): ``weights``/``version`` are
+        either one shared payload (provisioning) or lists aligned with
+        ``ids`` (grouped replies stamped at different server versions)."""
+        inbox = self._inbox
+        if isinstance(weights, np.ndarray):
+            for dev_id in ids.tolist():
+                banked = inbox.get(dev_id)
+                if banked is None or version >= banked[1]:
+                    inbox[dev_id] = (weights, version)
+        else:
+            for k, dev_id in enumerate(ids.tolist()):
+                banked = inbox.get(dev_id)
+                if banked is None or version[k] >= banked[1]:
+                    inbox[dev_id] = (weights[k], version[k])
+        wake = ids[self._parked_mask[ids] & ~self._offline_mask[ids]]
+        if wake.size:
+            self._parked_mask[wake] = False
+            self._begin_units(wake)
 
     def _on_unit_complete(self, ev) -> None:
         dev_id = ev.payload
+        if isinstance(dev_id, np.ndarray):
+            self._on_unit_batch(dev_id)
+            return
         self._unit_events.pop(dev_id, None)
         dev = self._by_id[dev_id]
         start = self._start_model[dev_id]
@@ -375,10 +468,10 @@ class AsyncFederatedServer(FederatedServer):
         )
         self._unit_idx[dev_id] += 1
         self._own_model[dev_id] = trained
-        if dev_id in self._offline:
+        if self._offline_mask[dev_id]:
             # Went offline mid-unit: the result stays local, the device
             # parks until a later availability epoch brings it back.
-            self._parked.add(dev_id)
+            self._parked_mask[dev_id] = True
             return
         payload = trained
         if self._fault_machinery and self.faults.is_byzantine(dev_id):
@@ -388,6 +481,57 @@ class AsyncFederatedServer(FederatedServer):
             self.resilience.injected_corruptions += 1
         self._send_attempt(dev, payload, start, self._base_version[dev_id], 0)
         self._begin_unit(dev_id)
+
+    def _on_unit_batch(self, ids) -> None:
+        """A completion wave (clean path).  Members are processed in array
+        order — run_unit calls, the shared drop-stream draws and upload
+        metering happen exactly as ``len(ids)`` consecutive per-device
+        events would — then the follow-up uploads and next units are
+        regrouped by maturity time into batched events of their own."""
+        epochs = self.config.local_epochs
+        offline = self._offline_mask
+        up: list[tuple] = []  # (lat, dev_id, delivered, start, base_version)
+        next_ids: list[int] = []
+        for dev_id in ids.tolist():
+            dev = self._by_id[dev_id]
+            start = self._start_model[dev_id]
+            trained = dev.run_unit(
+                start, epochs, 0, self._unit_idx[dev_id], sync=False
+            )
+            self._unit_idx[dev_id] += 1
+            self._own_model[dev_id] = trained
+            if offline[dev_id]:
+                self._parked_mask[dev_id] = True
+                continue
+            lat, delivered = self._send_up(dev, trained, start)
+            if lat is not None:
+                up.append((lat, dev_id, delivered, start, self._base_version[dev_id]))
+            next_ids.append(dev_id)
+        if up:
+            now = self.scheduler.now
+            lats = np.asarray([u[0] for u in up])
+            for t, gidx in _wave_groups(lats, np.arange(len(up))):
+                if len(gidx) == 1:
+                    _, d, delivered, start, basev = up[int(gidx[0])]
+                    self.scheduler.at(
+                        now + t, UPLOAD_ARRIVAL, (d, delivered, start, basev, None)
+                    )
+                else:
+                    members = [up[int(k)] for k in gidx.tolist()]
+                    mids = np.asarray([m[1] for m in members], dtype=np.int32)
+                    self.scheduler.at_many(
+                        now + t,
+                        UPLOAD_ARRIVAL,
+                        mids,
+                        payload=(
+                            mids,
+                            [m[2] for m in members],
+                            [m[3] for m in members],
+                            [m[4] for m in members],
+                        ),
+                    )
+        if next_ids:
+            self._begin_units(np.asarray(next_ids, dtype=np.intp))
 
     def _send_attempt(
         self,
@@ -469,7 +613,7 @@ class AsyncFederatedServer(FederatedServer):
             self.scheduler.cancel(beat)
         self._crashed.add(dev_id)
         self._crash_detected[dev_id] = False
-        self._parked.discard(dev_id)
+        self._parked_mask[dev_id] = False
         res = self.resilience
         res.injected_crashes += 1
         res.wasted_time += lost
@@ -481,8 +625,8 @@ class AsyncFederatedServer(FederatedServer):
         # Immediate rejoin announcement: the beat un-suspects the device
         # and restarts its heartbeat chain.
         self._schedule_beat(dev_id, self.scheduler.now)
-        if dev_id in self._offline:
-            self._parked.add(dev_id)
+        if self._offline_mask[dev_id]:
+            self._parked_mask[dev_id] = True
         else:
             self._begin_unit(dev_id)
 
@@ -518,7 +662,11 @@ class AsyncFederatedServer(FederatedServer):
         self.scheduler.at(now + cfg.heartbeat_period, SUSPECT)
 
     def _on_upload_arrival(self, ev) -> None:
-        dev_id, trained, base, base_version, token = ev.payload
+        payload = ev.payload
+        if isinstance(payload[0], np.ndarray):
+            self._on_upload_batch(*payload)
+            return
+        dev_id, trained, base, base_version, token = payload
         if token is not None:
             record = self._upload_timers.pop(token, None)
             if record is not None:
@@ -531,29 +679,83 @@ class AsyncFederatedServer(FederatedServer):
         if not self._finished:
             self._dispatch_global(dev_id)
 
+    def _on_upload_batch(self, ids, payloads, starts, versions) -> None:
+        """An upload wave lands (clean path).  Members aggregate in array
+        order — staleness is read against the version as it stands when
+        each member's turn comes, exactly as consecutive per-device events
+        would — and the replies are regrouped by downlink latency, each
+        stamped with the version current at its member's reply moment."""
+        down: list[tuple] = []  # (lat, dev_id, reply_payload, version)
+        for k, dev_id in enumerate(ids.tolist()):
+            staleness = self._version - versions[k]
+            aggregated = self.apply_upload(dev_id, payloads[k], starts[k], staleness)
+            if aggregated:
+                self._deployed_weights = self.global_weights
+                self._after_aggregate()
+            if self._finished:
+                # Per-device semantics: stop() keeps the rest of the wave
+                # from ever dispatching, and the finisher gets no reply.
+                break
+            lat, reply = self._send_down(self._by_id[dev_id])
+            if lat is not None:
+                down.append((lat, dev_id, reply, self._version))
+        if down:
+            now = self.scheduler.now
+            lats = np.asarray([d[0] for d in down])
+            for t, gidx in _wave_groups(lats, np.arange(len(down))):
+                if len(gidx) == 1:
+                    _, d, reply, ver = down[int(gidx[0])]
+                    self.scheduler.at(now + t, BROADCAST_ARRIVAL, (d, reply, ver))
+                else:
+                    members = [down[int(k)] for k in gidx.tolist()]
+                    mids = np.asarray([m[1] for m in members], dtype=np.int32)
+                    self.scheduler.at_many(
+                        now + t,
+                        BROADCAST_ARRIVAL,
+                        mids,
+                        payload=(
+                            mids,
+                            [m[2] for m in members],
+                            [m[3] for m in members],
+                        ),
+                    )
+
     def _on_availability_change(self, ev) -> None:
         """Churn epoch boundary: re-draw who is online (same rng stream
         family as the synchronous per-round masks, keyed by epoch), park
-        departures at their next unit end, wake returners now."""
+        departures at their next unit end, wake returners now.
+
+        O(active) churn: the draw is one vectorized mask over the cohort
+        id array, the offline set is a population-sized boolean mask
+        rebuilt by one scatter, and the only devices *touched* are the
+        wakers — parked devices whose state actually flips online."""
         epoch = ev.payload
         rng = self._seeds.generator(epoch, _AVAILABILITY_STREAM)
+        cohort_ids = self._cohort_ids
         if self.fleet is not None:
-            online = self.env.available_ids(
-                epoch,
-                self._cohort_ids,
-                self._unit_times[self._cohort_ids],
-                rng,
+            online_mask = self.env.online_mask_ids(
+                epoch, cohort_ids, self._unit_times[cohort_ids], rng
             )
-            online_set = set(int(i) for i in online)
         else:
             online = self.env.available(epoch, self.cohort, rng)
             online_set = {d.device_id for d in online}
-        offline = self._all_ids - online_set
-        self.unavailable_count += len(offline)
-        self._offline = offline
-        for dev_id in sorted(self._parked - offline):
-            self._parked.discard(dev_id)
-            self._begin_unit(dev_id)
+            online_mask = np.fromiter(
+                (d.device_id in online_set for d in self.cohort),
+                dtype=bool,
+                count=len(self.cohort),
+            )
+        new_off = np.zeros(self._id_bound, dtype=bool)
+        new_off[cohort_ids[~online_mask]] = True
+        self.unavailable_count += int(len(cohort_ids) - online_mask.sum())
+        wake = np.flatnonzero(self._parked_mask & ~new_off)
+        self._offline_mask = new_off
+        if wake.size:
+            self._parked_mask[wake] = False
+            if self._batch:
+                self._begin_units(wake)
+            else:
+                for dev_id in wake.tolist():
+                    self._begin_unit(dev_id)
         self.scheduler.at(
             (epoch + 1) * self._churn_period, AVAILABILITY_CHANGE, epoch + 1
         )
@@ -586,7 +788,11 @@ class AsyncFederatedServer(FederatedServer):
         if initial_weights is not None:
             self.global_weights = np.asarray(initial_weights, dtype=np.float64).copy()
         cfg: AsyncServerConfig = self.config  # type: ignore[assignment]
-        sched = Scheduler(clock=self.clock, record_trace=self.record_trace)
+        sched = Scheduler(
+            clock=self.clock,
+            record_trace=self.record_trace,
+            engine=self.scheduler_engine,
+        )
         self.scheduler = sched
         self._version = 0
         self._finished = False
@@ -604,8 +810,20 @@ class AsyncFederatedServer(FederatedServer):
         self._own_model = {i: self.global_weights for i in ids}
         self._inbox: dict[int, tuple[np.ndarray, int]] = {}
         self._unit_idx = {i: 0 for i in ids}
-        self._offline: set[int] = set()
-        self._parked: set[int] = set(ids)
+        # Park/offline state lives in population-sized boolean masks (ids
+        # index them directly), so churn epochs and wake-ups are array ops
+        # over the cohort instead of per-device set churn.
+        self._id_bound = int(self._cohort_ids.max()) + 1 if ids else 1
+        self._offline_mask = np.zeros(self._id_bound, dtype=bool)
+        self._parked_mask = np.zeros(self._id_bound, dtype=bool)
+        self._parked_mask[self._cohort_ids] = True
+        if self.fleet is not None:
+            self._unit_time_of = np.asarray(self._unit_times, dtype=np.float64)
+        else:
+            ut = np.zeros(self._id_bound, dtype=np.float64)
+            for i in ids:
+                ut[i] = self._unit_time[i]
+            self._unit_time_of = ut
         self._churn_period = (
             cfg.churn_period
             if cfg.churn_period is not None
@@ -650,17 +868,48 @@ class AsyncFederatedServer(FederatedServer):
         # Per-device downlink codec references; seeded by provisioning.
         self._down_refs: dict[int, np.ndarray] = {}
 
+        # Batched events need per-member timer-free dispatch: arming the
+        # fault machinery (per-member unit cancellation, crash/heartbeat
+        # tie ordering) falls back to one event per device.
+        self._batch = bool(self.event_batching) and not self._fault_machinery
+
         # t=0 provisioning: the server pushes the initial model to the
         # whole cohort.  Metered per link but lossless and dense — a fleet
         # is provisioned with the initial model out of band, and a "lost"
         # provisioning push would just re-deliver the identical vector.
         # The dense push establishes every device's downlink reference.
-        for dev in self.cohort:
-            self.meter.record_download(1)
-            lat = self.env.network.transfer_time(SERVER, dev.device_id, 1.0)
-            sched.at(lat, BROADCAST_ARRIVAL, (dev.device_id, self.global_weights, 0))
+        if self._batch and len(ids) > 1:
+            self.meter.record_download(len(ids))
+            net = self.env.network
+            if net.is_instant:
+                lats = np.zeros(len(ids))
+            else:
+                lats = net.server_transfer_times(self._cohort_ids, 1.0)
             if not self.codec.is_identity:
-                self._down_refs[dev.device_id] = self.global_weights
+                for i in ids:
+                    self._down_refs[i] = self.global_weights
+            for t, group in _wave_groups(lats, self._cohort_ids):
+                if len(group) == 1:
+                    sched.at(
+                        t, BROADCAST_ARRIVAL, (int(group[0]), self.global_weights, 0)
+                    )
+                else:
+                    g32 = np.ascontiguousarray(group, dtype=np.int32)
+                    sched.at_many(
+                        t,
+                        BROADCAST_ARRIVAL,
+                        g32,
+                        payload=(g32, self.global_weights, 0),
+                    )
+        else:
+            for dev in self.cohort:
+                self.meter.record_download(1)
+                lat = self.env.network.transfer_time(SERVER, dev.device_id, 1.0)
+                sched.at(
+                    lat, BROADCAST_ARRIVAL, (dev.device_id, self.global_weights, 0)
+                )
+                if not self.codec.is_identity:
+                    self._down_refs[dev.device_id] = self.global_weights
 
         sched.run()
         return self._assemble_result()

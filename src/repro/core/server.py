@@ -38,6 +38,7 @@ from repro.simulation.metrics import (
 )
 from repro.simulation.results import RunResult
 from repro.simulation.scheduler import (
+    DEFAULT_ENGINE,
     EVAL_CHECKPOINT,
     ROUND_BARRIER,
     Scheduler,
@@ -119,6 +120,12 @@ class FederatedServer:
     """
 
     method = "base"
+
+    #: Event-queue engine the server's Scheduler runs on — ``"calendar"``
+    #: (the bucketed wheel) by default; tests pin ``"heap"`` to compare
+    #: whole event traces across engines.  Class-level so one assignment
+    #: flips a subclass or an instance alike.
+    scheduler_engine = DEFAULT_ENGINE
 
     def __init__(
         self,
@@ -814,7 +821,7 @@ class FederatedServer:
         """
         if initial_weights is not None:
             self.global_weights = np.asarray(initial_weights, dtype=np.float64).copy()
-        sched = Scheduler(clock=self.clock)
+        sched = Scheduler(clock=self.clock, engine=self.scheduler_engine)
         self.scheduler = sched
         # The model the outside world sees *during* the round currently
         # executing — what a time-indexed checkpoint inside the round's

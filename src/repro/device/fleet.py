@@ -166,9 +166,19 @@ class DeviceFleet:
             )
 
         # One gather into fleet order; per-device shards are slices of it.
+        # A partition that is already in fleet order (the ``contiguous``
+        # scheme million-device profiles use) skips the gather entirely:
+        # the fleet aliases the dataset's block, so building the fleet
+        # costs O(devices) index arrays, never a second copy of the data.
         order = np.concatenate([np.asarray(p, dtype=np.intp) for p in parts])
-        self.x = dataset.x[order]
-        self.y = dataset.y[order]
+        if order.size == len(dataset) and np.array_equal(
+            order, np.arange(order.size, dtype=np.intp)
+        ):
+            self.x = dataset.x
+            self.y = dataset.y
+        else:
+            self.x = dataset.x[order]
+            self.y = dataset.y[order]
         self.num_classes = dataset.num_classes
         self.name = name if name is not None else dataset.name
 

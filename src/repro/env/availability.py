@@ -137,6 +137,22 @@ class TraceAvailability(AvailabilityModel):
             if not trace:
                 raise ValueError(f"trace for device {dev_id} is empty")
         self.default = bool(default)
+        # Streamed array form: the traced schedules live once as one flat
+        # boolean block plus (id, offset, length) arrays, and an epoch's
+        # values are a single modular gather — per-epoch cost scales with
+        # the number of *traced* devices, no matter how many devices the
+        # caller's id array holds, and nothing is ever materialized per
+        # untraced device.
+        tids = sorted(self.traces)
+        self._trace_ids = np.asarray(tids, dtype=np.intp)
+        lens = np.asarray([len(self.traces[i]) for i in tids], dtype=np.intp)
+        self._trace_lengths = lens
+        self._trace_offsets = np.concatenate(
+            ([0], np.cumsum(lens[:-1]))
+        ).astype(np.intp) if tids else np.zeros(0, dtype=np.intp)
+        self._trace_flat = np.asarray(
+            [v for i in tids for v in self.traces[i]], dtype=bool
+        )
 
     def available_mask(self, round_idx, devices, rng):
         mask = np.empty(len(devices), dtype=bool)
@@ -149,12 +165,26 @@ class TraceAvailability(AvailabilityModel):
         return mask
 
     def available_mask_ids(self, round_idx, device_ids, unit_times, rng):
-        traces = self.traces
-        mask = np.full(len(device_ids), self.default, dtype=bool)
-        for i, dev_id in enumerate(device_ids):
-            trace = traces.get(int(dev_id))
-            if trace is not None:
-                mask[i] = trace[(round_idx - 1) % len(trace)]
+        ids = np.asarray(device_ids)
+        mask = np.full(len(ids), self.default, dtype=bool)
+        tids = self._trace_ids
+        if not tids.size or not ids.size:
+            return mask
+        # This epoch's value for every traced device: one modular gather
+        # from the flat trace block (round indices are 1-based).
+        vals = self._trace_flat[
+            self._trace_offsets + (round_idx - 1) % self._trace_lengths
+        ]
+        # Locate the traced devices inside ``ids`` — O(traced x log n),
+        # untraced devices are never enumerated.  Cohort id arrays are
+        # ascending in practice; fall back to an argsort when not.
+        if ids.size > 1 and np.any(np.diff(ids) < 0):
+            sorter = np.argsort(ids, kind="stable")
+            rows = sorter[np.minimum(np.searchsorted(ids, tids, sorter=sorter), ids.size - 1)]
+        else:
+            rows = np.minimum(np.searchsorted(ids, tids), ids.size - 1)
+        hit = ids[rows] == tids
+        mask[rows[hit]] = vals[hit]
         return mask
 
 

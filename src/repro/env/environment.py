@@ -108,13 +108,40 @@ class Environment:
         device_ids = np.asarray(device_ids, dtype=np.intp)
         if not len(device_ids) or self.availability.always_on:
             return device_ids
-        mask = self.availability.available_mask_ids(
-            round_idx, device_ids, unit_times, rng
+        mask = self.online_mask_ids(round_idx, device_ids, unit_times, rng)
+        return device_ids[mask]
+
+    def online_mask_ids(
+        self,
+        round_idx: int,
+        device_ids: np.ndarray,
+        unit_times: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Boolean online mask over ``device_ids`` — never all-False.
+
+        The mask form of :meth:`available_ids`, with **identical rng
+        draws** (one model draw, plus the same fallback draw when every
+        device came up offline).  Callers that keep population-sized
+        state — the async server's churn epochs — diff this mask against
+        the previous one and touch only the devices whose state actually
+        flips, instead of rebuilding membership sets each epoch.
+        """
+        n = len(device_ids)
+        if not n or self.availability.always_on:
+            return np.ones(n, dtype=bool)
+        mask = np.asarray(
+            self.availability.available_mask_ids(
+                round_idx, device_ids, unit_times, rng
+            ),
+            dtype=bool,
         )
-        online = device_ids[mask]
-        if not len(online):
-            online = device_ids[[int(rng.integers(len(device_ids)))]]
-        return online
+        if not mask.any():
+            # The all-offline fallback: one rng-chosen device stays up
+            # (same draw as the object path's ``available``).
+            mask = mask.copy()
+            mask[int(rng.integers(n))] = True
+        return mask
 
     def server_transfer_time(
         self, devices: Sequence, model_units: float | np.ndarray = 1.0

@@ -55,7 +55,7 @@ __all__ = [
 METHODS = METHOD_SERVERS
 _METHOD_CONFIGS = METHOD_CONFIGS
 
-_PARTITIONS = ("iid", "dirichlet", "shard")
+_PARTITIONS = ("iid", "contiguous", "dirichlet", "shard")
 
 #: Model size presets.  "paper" is the architecture of Section 6.1 verbatim;
 #: "small" shrinks widths for the single-core benchmark budget while keeping
@@ -77,6 +77,18 @@ FLEET_PROFILES: dict[str, dict[str, Any]] = {
     "campus": {"num_devices": 1_000, "num_samples": 20_000, "participation": 0.5},
     "city": {"num_devices": 5_000, "num_samples": 50_000, "participation": 0.1},
     "metro": {"num_devices": 20_000, "num_samples": 100_000, "participation": 0.02},
+    # Million-device runs: contiguous shards alias the dataset block (no
+    # gather, no per-device index copies), participation keeps the active
+    # cohort around a thousand, and the small test fraction keeps eval off
+    # the critical path.  Pairs with the async servers' batched events —
+    # see the "million-device runs" quickstart in the README.
+    "mega": {
+        "num_devices": 1_000_000,
+        "num_samples": 1_100_000,
+        "participation": 0.001,
+        "partition": "contiguous",
+        "test_fraction": 0.005,
+    },
 }
 
 

@@ -61,10 +61,11 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.simulation.clock import VirtualClock
-from repro.simulation.events import Event, EventQueue
+from repro.simulation.events import ENGINES, Event, make_queue
 
 __all__ = [
     "Scheduler",
+    "DEFAULT_ENGINE",
     "ROUND_BARRIER",
     "BROADCAST_ARRIVAL",
     "UNIT_COMPLETE",
@@ -129,6 +130,12 @@ def completed_units_array(horizon: float, unit_times: np.ndarray) -> np.ndarray:
     return np.maximum(1, (horizon / unit_times + _EPS).astype(np.intp))
 
 
+#: The queue engine used when a Scheduler is built without an explicit
+#: choice: the calendar queue (``"heap"`` remains available as the
+#: reference implementation the property tests compare against).
+DEFAULT_ENGINE = "calendar"
+
+
 class Scheduler:
     """Dispatches events in virtual-time order and advances the clock.
 
@@ -141,15 +148,27 @@ class Scheduler:
         When True, every dispatched event appends ``(time, kind, tag)`` to
         :attr:`trace` — the determinism tests compare whole traces of
         identically seeded runs.
+    engine:
+        The queue implementation: ``"calendar"`` (default, the bucketed
+        wheel) or ``"heap"`` (the single binary heap).  Both dispatch in
+        exactly the same order; the choice is purely a performance knob.
     """
 
     def __init__(
-        self, clock: VirtualClock | None = None, record_trace: bool = False
+        self,
+        clock: VirtualClock | None = None,
+        record_trace: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
-        self.queue = EventQueue()
+        self.engine = engine
+        self.queue = make_queue(engine)
         self._handlers: dict[str, Callable[[Event], None]] = {}
         self._pending: dict[str, int] = {}
+        # Running total of live scheduled members — kept in lockstep with
+        # ``_pending`` so the hot loop's emptiness checks (``__bool__``,
+        # ``pending()``) are O(1) instead of re-summing a dict.
+        self._live = 0
         self._finish_at: float | None = None
         self._stopped = False
         self.events_processed = 0
@@ -165,18 +184,21 @@ class Scheduler:
         return self.clock.now
 
     def pending(self, kind: str | None = None) -> int:
-        """Live (non-cancelled) scheduled events, optionally of one kind."""
+        """Live (non-cancelled) scheduled logical events, optionally of one
+        kind.  A batched event (see :meth:`at_many`) counts each carried
+        member: packing a wave of completions into one entry never changes
+        what "pending work" means."""
         if kind is not None:
             return self._pending.get(kind, 0)
-        return sum(self._pending.values())
+        return self._live
 
     def pending_except(self, *kinds: str) -> int:
-        """Live scheduled events whose kind is not in ``kinds``."""
-        skip = set(kinds)
-        return sum(n for k, n in self._pending.items() if k not in skip)
+        """Live scheduled logical events whose kind is not in ``kinds``."""
+        get = self._pending.get
+        return self._live - sum(get(k, 0) for k in set(kinds))
 
     def __bool__(self) -> bool:
-        return self.pending() > 0
+        return self._live > 0
 
     # ---------------------------------------------------------- scheduling
 
@@ -189,6 +211,32 @@ class Scheduler:
         """
         ev = self.queue.push(time, kind, payload)
         self._pending[kind] = self._pending.get(kind, 0) + 1
+        self._live += 1
+        return ev
+
+    def at_many(
+        self, time: float, kind: str, ids: np.ndarray, payload: Any = None
+    ) -> Event:
+        """Schedule one *batched* event carrying an id array.
+
+        The single entry stands for ``len(ids)`` logical events of
+        ``kind``, one per device id, sharing a timestamp — the payload is
+        the int32 id array itself, or ``payload`` when the members carry
+        data beyond their ids (a composite whose first element is the id
+        array, e.g. an upload wave's per-member models).  Handlers consume
+        the array in order; the pending counters and ``events_processed``
+        count the members, so every scheduler-level observable matches
+        ``len(ids)`` consecutive :meth:`at` calls at the same time.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.int32)
+        if ids.ndim != 1 or not len(ids):
+            raise ValueError(
+                f"at_many needs a non-empty 1-D id array, got shape {ids.shape}"
+            )
+        n = len(ids)
+        ev = self.queue.push(time, kind, ids if payload is None else payload, members=n)
+        self._pending[kind] = self._pending.get(kind, 0) + n
+        self._live += n
         return ev
 
     def after(self, delay: float, kind: str, payload: Any = None) -> Event:
@@ -207,7 +255,8 @@ class Scheduler:
         """
         if not event.cancelled and not event.fired:
             event.cancelled = True
-            self._pending[event.kind] -= 1
+            self._pending[event.kind] -= event.members
+            self._live -= event.members
 
     def on(self, kind: str, handler: Callable[[Event], None]) -> None:
         """Register the handler dispatched for ``kind`` events."""
@@ -250,11 +299,12 @@ class Scheduler:
         if ev is None:
             return None
         self.queue.pop()
-        self._pending[ev.kind] -= 1
+        self._pending[ev.kind] -= ev.members
+        self._live -= ev.members
         ev.fired = True
         if ev.time > self.clock.now:
             self.clock.advance_to(ev.time)
-        self.events_processed += 1
+        self.events_processed += ev.members
         if self.trace is not None:
             self.trace.append((ev.time, ev.kind, _trace_tag(ev.payload)))
         handler = self._handlers.get(ev.kind)
@@ -282,9 +332,10 @@ class Scheduler:
             if ev is None or ev.time != now:
                 break
             self.queue.pop()
-            self._pending[ev.kind] -= 1
+            self._pending[ev.kind] -= ev.members
+            self._live -= ev.members
             ev.fired = True
-            self.events_processed += 1
+            self.events_processed += ev.members
             if self.trace is not None:
                 self.trace.append((ev.time, ev.kind, _trace_tag(ev.payload)))
             batch.append(ev)
@@ -312,10 +363,25 @@ class Scheduler:
 
 
 def _trace_tag(payload: Any) -> Any:
-    """A comparable, array-free fingerprint of an event payload."""
+    """A comparable, array-free fingerprint of an event payload.
+
+    Batched payloads (id arrays, or tuples led by one) fingerprint as
+    ``(len, first_id, last_id)`` — ndarrays are not ``Sequence`` instances,
+    so without the explicit branch they would collapse to ``None`` and the
+    determinism-trace tests could not see a batched event's membership.
+    """
     if payload is None or isinstance(payload, (int, float, str)):
         return payload
+    if isinstance(payload, np.ndarray):
+        if not payload.size:
+            return (0, None, None)
+        flat = payload.ravel()
+        return (int(payload.size), flat[0].item(), flat[-1].item())
     if isinstance(payload, Sequence):
         head = payload[0] if len(payload) else None
-        return head if isinstance(head, (int, float, str)) else None
+        if isinstance(head, (int, float, str)):
+            return head
+        if isinstance(head, np.ndarray):
+            return _trace_tag(head)
+        return None
     return None

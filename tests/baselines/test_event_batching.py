@@ -1,0 +1,82 @@
+"""Equivalence guarantees of the million-device event engine.
+
+Two independent axes, both of which must be observationally invisible:
+
+* **Engine** — calendar queue vs the heap reference.  Whole event traces
+  (every dispatched ``(time, kind, tag)``) must be identical.
+* **Batching** — id-array events vs one event per device.  Traces differ
+  by construction (packing changes the entries), so the comparison is on
+  run observables: final weights, history, virtual time, meters, churn
+  accounting.
+
+Both axes are crossed with {fedasync, fedbuff} x {ideal, churn,
+flaky_mobile} x faults on/off — the acceptance matrix of the calendar
+queue + batched-event work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSpec, build_experiment
+
+MATRIX = [
+    (method, env, faults)
+    for method in ("fedasync", "fedbuff")
+    for env in ("ideal", "churn", "flaky_mobile")
+    for faults in ("none", "compound")
+]
+
+
+def _run(method, env, faults, *, batching, engine, trace=False):
+    kwargs = dict(
+        method=method, num_samples=300, num_devices=10, rounds=5,
+        local_epochs=1, seed=0, participation=1.0, env=env, faults=faults,
+    )
+    if method == "fedbuff":
+        kwargs["buffer_goal"] = 3
+    server = build_experiment(ExperimentSpec(**kwargs))
+    server.event_batching = batching
+    server.scheduler_engine = engine
+    server.record_trace = trace
+    result = server.fit()
+    return server, result
+
+
+@pytest.mark.parametrize("method,env,faults", MATRIX)
+def test_calendar_engine_trace_identical_to_heap(method, env, faults):
+    s_cal, _ = _run(method, env, faults, batching=True, engine="calendar",
+                    trace=True)
+    s_heap, _ = _run(method, env, faults, batching=True, engine="heap",
+                     trace=True)
+    assert s_cal.scheduler.trace == s_heap.scheduler.trace
+    assert s_cal.scheduler.events_processed == s_heap.scheduler.events_processed
+
+
+@pytest.mark.parametrize("method,env,faults", MATRIX)
+def test_batched_events_match_per_device_observables(method, env, faults):
+    s_b, r_b = _run(method, env, faults, batching=True, engine="calendar")
+    s_p, r_p = _run(method, env, faults, batching=False, engine="heap")
+    np.testing.assert_array_equal(r_b.final_weights, r_p.final_weights)
+    assert r_b.history.accuracies == r_p.history.accuracies
+    assert r_b.history.times == r_p.history.times
+    assert r_b.history.server_transfers == r_p.history.server_transfers
+    assert s_b.clock.now == s_p.clock.now
+    assert s_b.meter.server_down == s_p.meter.server_down
+    assert s_b.meter.server_up == s_p.meter.server_up
+    assert s_b.unavailable_count == s_p.unavailable_count
+    assert s_b._version == s_p._version
+
+
+def test_fault_machinery_forces_per_device_events():
+    """Arming a fault model disables batching regardless of the knob —
+    per-member timer cancellation needs per-device handles."""
+    server, _ = _run("fedasync", "ideal", "compound", batching=True,
+                     engine="calendar")
+    assert server._fault_machinery
+    assert server._batch is False
+
+
+def test_clean_path_batches_by_default():
+    server, _ = _run("fedasync", "ideal", "none", batching=True,
+                     engine="calendar")
+    assert server._batch is True

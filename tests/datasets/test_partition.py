@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.datasets.core import ClassificationDataset
 from repro.datasets.partition import (
+    contiguous_partition,
     dirichlet_partition,
     iid_partition,
     label_distribution,
@@ -157,3 +158,30 @@ class TestLabelDistribution:
         ds = make_ds(n=20, classes=2)
         hist = label_distribution(ds, [np.arange(20), np.empty(0, dtype=np.intp)])
         assert hist[1].sum() == 0
+
+
+class TestContiguousPartition:
+    def test_conservation_and_order(self):
+        ds = make_ds(101)
+        parts = contiguous_partition(ds, 7)
+        assert_conservation(parts, 101)
+        # Shards are consecutive runs in dataset order.
+        assert all(np.array_equal(p, np.arange(p[0], p[-1] + 1)) for p in parts)
+        assert np.array_equal(np.concatenate(parts), np.arange(101))
+
+    def test_near_equal_sizes(self):
+        ds = make_ds(100)
+        sizes = [len(p) for p in contiguous_partition(ds, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_dispatch_by_name(self):
+        ds = make_ds(60)
+        parts = partition_by_name("contiguous", ds, 6, seed=5)
+        assert_conservation(parts, 60)
+
+    def test_validation(self):
+        ds = make_ds(5)
+        with pytest.raises(ValueError):
+            contiguous_partition(ds, 6)
+        with pytest.raises(ValueError):
+            contiguous_partition(ds, 0)

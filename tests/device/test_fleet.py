@@ -273,3 +273,34 @@ class TestSharedZeroDataset:
         assert isinstance(shard, ClassificationDataset)
         assert shard.num_classes == train_set.num_classes
         assert shard.name == "pop/dev0"
+
+
+class TestContiguousAlias:
+    def test_fleet_aliases_dataset_block(self, tiny_split, tiny_trainer):
+        """A fleet-order partition skips the gather: the fleet's data IS
+        the dataset's block, not a copy — the million-device memory path."""
+        from repro.datasets.partition import contiguous_partition
+
+        train_set, _ = tiny_split
+        parts = contiguous_partition(train_set, 8)
+        fleet = make_fleet(
+            train_set, parts, unit_times_from_counts(np.ones(8)), tiny_trainer
+        )
+        assert fleet.x is train_set.x
+        assert fleet.y is train_set.y
+        # Shards are still correct zero-copy slices.
+        for dev in range(8):
+            shard = fleet.shard(dev)
+            np.testing.assert_array_equal(shard.x, train_set.x[parts[dev]])
+            assert shard.x.base is train_set.x
+
+    def test_shuffled_partition_still_gathers(self, tiny_split, tiny_trainer):
+        from repro.datasets.partition import iid_partition
+
+        train_set, _ = tiny_split
+        parts = iid_partition(train_set, 8, seed=0)
+        fleet = make_fleet(
+            train_set, parts, unit_times_from_counts(np.ones(8)), tiny_trainer
+        )
+        assert fleet.x is not train_set.x
+        np.testing.assert_array_equal(fleet.x, train_set.x[np.concatenate(parts)])

@@ -175,3 +175,66 @@ class TestDiurnal:
             method="fedavg", rounds=3, num_devices=8, num_samples=400,
             env="diurnal", env_kwargs={"period": 4.0}))
         assert len(result.history.accuracies) == 3
+
+
+class TestTraceVectorizedPath:
+    """The streamed array form of TraceAvailability must agree with the
+    per-device object path on every (round, id-set) combination."""
+
+    def _model(self):
+        return TraceAvailability(
+            {0: [True, False], 3: [False], 7: [True, True, False]},
+            default=True,
+        )
+
+    def test_matches_object_path_across_rounds(self):
+        model = self._model()
+        ids = np.arange(9, dtype=np.intp)
+        devs = fleet(9)
+        for r in range(1, 8):
+            np.testing.assert_array_equal(
+                model.available_mask_ids(r, ids, np.ones(9), rng=None),
+                model.available_mask(r, devs, rng=None),
+            )
+
+    def test_subset_and_unsorted_id_arrays(self):
+        model = self._model()
+        for ids in ([3, 7], [7, 0, 3], [8, 2], [5, 1, 0, 7, 3], [3]):
+            ids_arr = np.asarray(ids, dtype=np.intp)
+            devs = [_Dev(i) for i in ids]
+            for r in (1, 2, 3, 4):
+                np.testing.assert_array_equal(
+                    model.available_mask_ids(
+                        r, ids_arr, np.ones(len(ids)), rng=None
+                    ),
+                    model.available_mask(r, devs, rng=None),
+                )
+
+    def test_traced_ids_absent_from_cohort(self):
+        """Traced devices outside the id array must not corrupt the mask
+        (searchsorted rows are clipped and verified by value)."""
+        model = TraceAvailability({50: [False], 99: [False]}, default=True)
+        ids = np.array([1, 2, 3], dtype=np.intp)
+        mask = model.available_mask_ids(1, ids, np.ones(3), rng=None)
+        assert mask.all()
+
+    def test_default_false_with_sparse_traces(self):
+        model = TraceAvailability({2: [True]}, default=False)
+        mask = model.available_mask_ids(
+            1, np.array([0, 2, 4], dtype=np.intp), np.ones(3), rng=None
+        )
+        np.testing.assert_array_equal(mask, [False, True, False])
+
+    def test_trace_cycling_in_flat_block(self):
+        """Traces of different lengths cycle independently through the
+        shared flat block's modular gather."""
+        model = TraceAvailability({0: [True, False, False], 1: [True, False]})
+        ids = np.array([0, 1], dtype=np.intp)
+        got = [
+            model.available_mask_ids(r, ids, np.ones(2), rng=None).tolist()
+            for r in range(1, 7)
+        ]
+        assert got == [
+            [True, True], [False, False], [False, True],
+            [True, False], [False, True], [False, False],
+        ]

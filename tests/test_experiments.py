@@ -307,3 +307,30 @@ class TestFleetProfiles:
         spec = fast_spec(num_devices=7)
         assert spec.fleet_profile is None
         assert spec.num_devices == 7
+
+
+class TestMegaProfile:
+    def test_mega_fields(self):
+        spec = ExperimentSpec(fleet_profile="mega")
+        assert spec.num_devices == 1_000_000
+        assert spec.partition == "contiguous"
+        assert spec.participation == 0.001
+        assert spec.test_fraction == 0.005
+
+    def test_explicit_partition_wins_over_profile(self):
+        spec = ExperimentSpec(fleet_profile="mega", partition="iid")
+        assert spec.partition == "iid"
+
+    def test_contiguous_spec_builds_and_runs(self):
+        spec = ExperimentSpec(
+            method="fedbuff", num_samples=400, num_devices=16, rounds=2,
+            partition="contiguous", local_epochs=1, seed=0, buffer_goal=2,
+        )
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        result = run_experiment(spec)
+        assert result.final_accuracy >= 0.0
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError, match="partition"):
+            ExperimentSpec(partition="bogus")
